@@ -1,0 +1,154 @@
+//! Ablation benches for the design choices called out in DESIGN.md: how
+//! much do the balancer round-trip latency, the 4-bit wire quantisation,
+//! the distribution policy and the relaxation threshold matter?
+//!
+//! Each bench also prints the resulting accuracy once per process (so
+//! `cargo bench` output doubles as the ablation data table).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ptb_core::report::normalized_aopb_pct;
+use ptb_core::{MechanismKind, PtbConfig, PtbPolicy, SimConfig, Simulation};
+use ptb_workloads::{Benchmark, Scale};
+use std::hint::black_box;
+use std::sync::Once;
+use std::time::Duration;
+
+fn run_with(ptb: PtbConfig, mech: MechanismKind) -> ptb_core::RunReport {
+    let cfg = SimConfig {
+        n_cores: 4,
+        scale: Scale::Test,
+        mechanism: mech,
+        ptb,
+        ..SimConfig::default()
+    };
+    Simulation::new(cfg).run(Benchmark::Waternsq).expect("run")
+}
+
+static PRINT: Once = Once::new();
+
+fn print_ablation_table() {
+    PRINT.call_once(|| {
+        let base = run_with(PtbConfig::default(), MechanismKind::None);
+        println!("\n== ablation: PTB accuracy vs hardware parameters (waternsq, 4c) ==");
+        for lat in [3u64, 10, 30] {
+            let cfg = PtbConfig {
+                latency_override: Some(lat),
+                ..PtbConfig::default()
+            };
+            let r = run_with(
+                cfg,
+                MechanismKind::PtbTwoLevel {
+                    policy: PtbPolicy::ToAll,
+                    relax: 0.0,
+                },
+            );
+            println!(
+                "  latency {lat:>2} cycles -> AoPB {:.1}%",
+                normalized_aopb_pct(&base, &r)
+            );
+        }
+        for bits in [2u32, 4, 8] {
+            let cfg = PtbConfig {
+                wire_bits: bits,
+                ..PtbConfig::default()
+            };
+            let r = run_with(
+                cfg,
+                MechanismKind::PtbTwoLevel {
+                    policy: PtbPolicy::ToAll,
+                    relax: 0.0,
+                },
+            );
+            println!(
+                "  {bits}-bit wires     -> AoPB {:.1}%",
+                normalized_aopb_pct(&base, &r)
+            );
+        }
+        for policy in [PtbPolicy::ToAll, PtbPolicy::ToOne, PtbPolicy::Dynamic] {
+            let r = run_with(
+                PtbConfig::default(),
+                MechanismKind::PtbTwoLevel { policy, relax: 0.0 },
+            );
+            println!(
+                "  policy {:<8} -> AoPB {:.1}%",
+                policy.label(),
+                normalized_aopb_pct(&base, &r)
+            );
+        }
+        println!();
+    });
+}
+
+fn ablation_latency(c: &mut Criterion) {
+    print_ablation_table();
+    let mut g = c.benchmark_group("ablation_latency");
+    g.measurement_time(Duration::from_secs(3)).sample_size(10);
+    for lat in [3u64, 10, 30] {
+        g.bench_function(format!("rt_{lat}cyc"), |b| {
+            let cfg = PtbConfig {
+                latency_override: Some(lat),
+                ..PtbConfig::default()
+            };
+            b.iter(|| {
+                black_box(run_with(
+                    cfg,
+                    MechanismKind::PtbTwoLevel {
+                        policy: PtbPolicy::ToAll,
+                        relax: 0.0,
+                    },
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn ablation_wire_bits(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_wire_bits");
+    g.measurement_time(Duration::from_secs(3)).sample_size(10);
+    for bits in [2u32, 8] {
+        g.bench_function(format!("{bits}bit"), |b| {
+            let cfg = PtbConfig {
+                wire_bits: bits,
+                ..PtbConfig::default()
+            };
+            b.iter(|| {
+                black_box(run_with(
+                    cfg,
+                    MechanismKind::PtbTwoLevel {
+                        policy: PtbPolicy::ToAll,
+                        relax: 0.0,
+                    },
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn ablation_relax(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_relax");
+    g.measurement_time(Duration::from_secs(3)).sample_size(10);
+    for relax in [0.0, 0.3] {
+        g.bench_function(format!("relax_{:.0}", relax * 100.0), |b| {
+            b.iter(|| {
+                black_box(run_with(
+                    PtbConfig::default(),
+                    MechanismKind::PtbTwoLevel {
+                        policy: PtbPolicy::ToAll,
+                        relax,
+                    },
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    ablation,
+    ablation_latency,
+    ablation_wire_bits,
+    ablation_relax
+);
+criterion_main!(ablation);

@@ -1,0 +1,182 @@
+//! One Criterion bench per paper table/figure: each times a reduced
+//! (Test-scale, 4-core) regeneration of that artefact's measurement —
+//! i.e. the exact code path the `ptb-experiments` binary drives at full
+//! scale. Running `cargo bench -p ptb-bench --bench figures` therefore
+//! exercises the entire evaluation pipeline end-to-end.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ptb_bench::quick_sim;
+use ptb_core::{MechanismKind, PtbPolicy};
+use ptb_workloads::Benchmark;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn group<'a>(
+    c: &'a mut Criterion,
+    name: &str,
+) -> criterion::BenchmarkGroup<'a, criterion::measurement::WallTime> {
+    let mut g = c.benchmark_group(name);
+    g.measurement_time(Duration::from_secs(3)).sample_size(10);
+    g
+}
+
+/// Figure 2: a naive-split mechanism run (energy + AoPB source data).
+fn fig02(c: &mut Criterion) {
+    let mut g = group(c, "fig02_naive_budget");
+    for mech in [
+        MechanismKind::Dvfs,
+        MechanismKind::Dfs,
+        MechanismKind::TwoLevel,
+    ] {
+        g.bench_function(mech.label(), |b| {
+            b.iter(|| black_box(quick_sim(4, Benchmark::Barnes, mech)))
+        });
+    }
+    g.finish();
+}
+
+/// Figure 3: execution-time breakdown extraction.
+fn fig03(c: &mut Criterion) {
+    let mut g = group(c, "fig03_breakdown");
+    g.bench_function("breakdown_4c", |b| {
+        b.iter(|| {
+            let r = quick_sim(4, Benchmark::Waternsq, MechanismKind::None);
+            black_box(r.breakdown_frac())
+        })
+    });
+    g.finish();
+}
+
+/// Figure 4: spin-power measurement.
+fn fig04(c: &mut Criterion) {
+    let mut g = group(c, "fig04_spin_power");
+    g.bench_function("spin_power_4c", |b| {
+        b.iter(|| {
+            let r = quick_sim(4, Benchmark::Fluidanimate, MechanismKind::None);
+            black_box(r.spin_power_frac())
+        })
+    });
+    g.finish();
+}
+
+/// Figures 5/6: traced runs (per-cycle power capture).
+fn fig05_06(c: &mut Criterion) {
+    let mut g = group(c, "fig05_06_traces");
+    g.bench_function("traced_run_2c", |b| {
+        use ptb_core::{SimConfig, Simulation};
+        use ptb_workloads::Scale;
+        b.iter(|| {
+            let cfg = SimConfig {
+                n_cores: 2,
+                scale: Scale::Test,
+                capture_trace: true,
+                ..SimConfig::default()
+            };
+            black_box(Simulation::new(cfg).run(Benchmark::X264).expect("run"))
+        })
+    });
+    g.finish();
+}
+
+/// Figure 7: the balancer's token-flow math (pure mechanism, no sim).
+fn fig07(c: &mut Criterion) {
+    use ptb_core::budget::BudgetSpec;
+    use ptb_core::mechanisms::{ChipObs, CoreAction, CoreObs, Mechanism, PtbMechanism};
+    use ptb_core::PtbConfig;
+    use ptb_isa::ExecCtx;
+    use ptb_power::PowerParams;
+    use ptb_uarch::CoreConfig;
+    let mut g = group(c, "fig07_token_flow");
+    g.bench_function("balancer_control_16c", |b| {
+        let budget = BudgetSpec::new(&PowerParams::default(), &CoreConfig::default(), 16, 0.5);
+        let mut m = PtbMechanism::new(16, PtbPolicy::ToAll, 0.0, PtbConfig::default());
+        let cores: Vec<CoreObs> = (0..16)
+            .map(|i| CoreObs {
+                tokens: if i % 2 == 0 {
+                    budget.local * 0.4
+                } else {
+                    budget.local * 1.6
+                },
+                ctx: ExecCtx::BUSY,
+                done: false,
+            })
+            .collect();
+        let mut actions = vec![CoreAction::default(); 16];
+        let mut cycle = 0u64;
+        b.iter(|| {
+            cycle += 1;
+            let obs = ChipObs {
+                cycle,
+                chip_tokens: budget.global * 1.05,
+                uncore_tokens: 0.0,
+                cores: &cores,
+            };
+            m.control(&obs, &budget, &mut actions);
+            black_box(&actions);
+        })
+    });
+    g.finish();
+}
+
+/// Figures 9-12: the PTB policy runs.
+fn fig09_12(c: &mut Criterion) {
+    let mut g = group(c, "fig09_12_ptb_policies");
+    for policy in [PtbPolicy::ToAll, PtbPolicy::ToOne, PtbPolicy::Dynamic] {
+        let mech = MechanismKind::PtbTwoLevel { policy, relax: 0.0 };
+        g.bench_function(policy.label(), |b| {
+            b.iter(|| black_box(quick_sim(4, Benchmark::Waternsq, mech)))
+        });
+    }
+    g.finish();
+}
+
+/// Figure 13: performance comparison (baseline + PTB pair).
+fn fig13(c: &mut Criterion) {
+    let mut g = group(c, "fig13_performance");
+    g.bench_function("slowdown_pair", |b| {
+        b.iter(|| {
+            let base = quick_sim(4, Benchmark::X264, MechanismKind::None);
+            let ptb = quick_sim(
+                4,
+                Benchmark::X264,
+                MechanismKind::PtbTwoLevel {
+                    policy: PtbPolicy::Dynamic,
+                    relax: 0.0,
+                },
+            );
+            black_box(ptb_core::report::slowdown_pct(&base, &ptb))
+        })
+    });
+    g.finish();
+}
+
+/// Figure 14: relaxed-accuracy runs.
+fn fig14(c: &mut Criterion) {
+    let mut g = group(c, "fig14_relaxed");
+    for relax in [0.0, 0.2] {
+        let mech = MechanismKind::PtbTwoLevel {
+            policy: PtbPolicy::ToAll,
+            relax,
+        };
+        g.bench_function(format!("relax_{:.0}pct", relax * 100.0), |b| {
+            b.iter(|| black_box(quick_sim(4, Benchmark::Barnes, mech)))
+        });
+    }
+    g.finish();
+}
+
+/// §IV.D: TDP packing arithmetic.
+fn tdp(c: &mut Criterion) {
+    let mut g = group(c, "tdp_packing");
+    g.bench_function("cores_within_tdp", |b| {
+        b.iter(|| {
+            for err in [0.0, 0.1, 0.4, 0.65] {
+                black_box(ptb_metrics::cores_within_tdp(100.0, 3.125, err));
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(figures, fig02, fig03, fig04, fig05_06, fig07, fig09_12, fig13, fig14, tdp);
+criterion_main!(figures);

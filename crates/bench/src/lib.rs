@@ -1,0 +1,40 @@
+//! # ptb-bench — benchmark support
+//!
+//! Shared helpers for the Criterion benches:
+//!
+//! * `benches/components.rs` — microbenchmarks of every substrate (mesh,
+//!   caches, predictor, core tick, memory system, workload generation);
+//! * `benches/figures.rs` — one bench per paper table/figure, timing a
+//!   reduced (Test-scale) regeneration of each artefact; the full-scale
+//!   artefacts themselves are produced by `ptb-experiments` binaries;
+//! * `benches/ablation.rs` — design-choice sweeps called out in DESIGN.md
+//!   (balancer latency, wire width, policy, relaxation).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use ptb_core::{MechanismKind, RunReport, SimConfig, Simulation};
+use ptb_workloads::{Benchmark, Scale};
+
+/// A small, fast simulation used inside benches (Test scale, bounded).
+pub fn quick_sim(n_cores: usize, bench: Benchmark, mech: MechanismKind) -> RunReport {
+    let cfg = SimConfig {
+        n_cores,
+        scale: Scale::Test,
+        mechanism: mech,
+        max_cycles: 30_000_000,
+        ..SimConfig::default()
+    };
+    Simulation::new(cfg).run(bench).expect("bench sim failed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_sim_runs() {
+        let r = quick_sim(2, Benchmark::X264, MechanismKind::None);
+        assert!(r.cycles > 0);
+    }
+}

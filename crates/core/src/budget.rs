@@ -1,0 +1,77 @@
+//! Budget arithmetic: peak power, global and local budgets.
+
+use ptb_power::PowerParams;
+use ptb_uarch::CoreConfig;
+use serde::{Deserialize, Serialize};
+
+/// The power budget of a run, in tokens/cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BudgetSpec {
+    /// Peak chip power (tokens/cycle): per-core analytic peak × cores,
+    /// plus an uncore allowance.
+    pub peak_chip: f64,
+    /// Global budget = `budget_frac` × peak.
+    pub global: f64,
+    /// Naive local budget = global / n_cores.
+    pub local: f64,
+    /// Cores.
+    pub n_cores: usize,
+}
+
+impl BudgetSpec {
+    /// Uncore peak allowance as a fraction of summed core peaks
+    /// (interconnect + caches; grows with core count in the paper's
+    /// motivation, §I).
+    pub const UNCORE_PEAK_FRAC: f64 = 0.10;
+
+    /// Compute the budget for a machine.
+    pub fn new(params: &PowerParams, core: &CoreConfig, n_cores: usize, budget_frac: f64) -> Self {
+        assert!(n_cores >= 1);
+        assert!(
+            (0.0..=1.0).contains(&budget_frac),
+            "budget fraction in [0,1]"
+        );
+        let per_core = params.peak_core_tokens(core.issue_width, core.rob_size, core.fetch_width);
+        let peak_chip = per_core * n_cores as f64 * (1.0 + Self::UNCORE_PEAK_FRAC);
+        let global = peak_chip * budget_frac;
+        BudgetSpec {
+            peak_chip,
+            global,
+            local: global / n_cores as f64,
+            n_cores,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_scales_linearly_with_cores() {
+        let p = PowerParams::default();
+        let c = CoreConfig::default();
+        let b4 = BudgetSpec::new(&p, &c, 4, 0.5);
+        let b16 = BudgetSpec::new(&p, &c, 16, 0.5);
+        assert!((b16.peak_chip / b4.peak_chip - 4.0).abs() < 1e-9);
+        assert!(
+            (b4.local - b16.local).abs() < 1e-9,
+            "local budget per core is constant"
+        );
+    }
+
+    #[test]
+    fn half_budget_is_half_peak() {
+        let p = PowerParams::default();
+        let c = CoreConfig::default();
+        let b = BudgetSpec::new(&p, &c, 8, 0.5);
+        assert!((b.global - b.peak_chip * 0.5).abs() < 1e-9);
+        assert!((b.local * 8.0 - b.global).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "budget fraction")]
+    fn rejects_out_of_range_fraction() {
+        BudgetSpec::new(&PowerParams::default(), &CoreConfig::default(), 4, 1.5);
+    }
+}

@@ -1,0 +1,239 @@
+//! Simulation configuration.
+
+use ptb_mem::MemConfig;
+use ptb_power::{PowerParams, ThermalParams};
+use ptb_uarch::CoreConfig;
+use ptb_workloads::Scale;
+use serde::{Deserialize, Serialize};
+
+/// Power-token distribution policy of the PTB load-balancer (§III.E).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PtbPolicy {
+    /// Split spare tokens equally among all cores over their local budget.
+    ToAll,
+    /// Give all spare tokens to the neediest core.
+    ToOne,
+    /// §IV.B dynamic selector: ToOne while spinning is lock-spinning,
+    /// ToAll while it is barrier-spinning.
+    Dynamic,
+}
+
+impl PtbPolicy {
+    /// Short label used in reports/figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            PtbPolicy::ToAll => "ToAll",
+            PtbPolicy::ToOne => "ToOne",
+            PtbPolicy::Dynamic => "Dynamic",
+        }
+    }
+}
+
+/// PTB hardware parameters (§III.E.2).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PtbConfig {
+    /// Round-trip latency override in cycles; `None` uses the paper's
+    /// Xilinx-derived values (3 for ≤4 cores, 5 for 8, 10 for 16).
+    pub latency_override: Option<u64>,
+    /// Bits on the send/receive wires (token counts are quantised to
+    /// `2^bits − 1` steps of the local budget). Paper: 4.
+    pub wire_bits: u32,
+    /// Balancer + wiring power overhead as a fraction of the global budget
+    /// (paper: ≈ 1 % of application power).
+    pub overhead_frac: f64,
+    /// Cluster the balancer into groups of this many cores (§III.E.2's
+    /// scalability proposal for > 32-core CMPs: "clustering the PTB
+    /// load-balancer into groups of 8 or 16 cores and replicating the
+    /// structure"). `None` = one chip-wide balancer.
+    pub cluster_size: Option<usize>,
+}
+
+impl Default for PtbConfig {
+    fn default() -> Self {
+        PtbConfig {
+            latency_override: None,
+            wire_bits: 4,
+            overhead_frac: 0.01,
+            cluster_size: None,
+        }
+    }
+}
+
+impl PtbConfig {
+    /// Round-trip balancer latency for `n` cores (send + process +
+    /// distribute), from the paper's Xilinx ISE estimates.
+    pub fn latency(&self, n_cores: usize) -> u64 {
+        if let Some(l) = self.latency_override {
+            return l;
+        }
+        match n_cores {
+            0..=4 => 3,
+            5..=8 => 5,
+            9..=16 => 10,
+            // Extrapolated beyond the paper's Xilinx data points.
+            _ => 14,
+        }
+    }
+}
+
+/// Which power-management mechanism drives the run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum MechanismKind {
+    /// No power control (baseline for normalisation).
+    None,
+    /// Per-core DVFS, naive equal budget split.
+    Dvfs,
+    /// Per-core DFS (frequency only).
+    Dfs,
+    /// DVFS + micro-architectural spike clipping (\[2\], per core).
+    TwoLevel,
+    /// Power Token Balancing on top of the 2-level local machinery.
+    PtbTwoLevel {
+        /// Token distribution policy.
+        policy: PtbPolicy,
+        /// Relaxed-accuracy threshold (§IV.C): local savings trigger only
+        /// when consumption exceeds the effective budget by this fraction
+        /// (0.0 = strict accuracy mode; 0.2 = the paper's "+20 %" point).
+        relax: f64,
+    },
+    /// PTB plus power-pattern spin gating — the paper's future-work
+    /// extension (§IV.C): detected spinners are parked on a deep throttle
+    /// for extra energy savings.
+    PtbSpinGate {
+        /// Token distribution policy.
+        policy: PtbPolicy,
+        /// Relaxed-accuracy threshold, as for `PtbTwoLevel`.
+        relax: f64,
+    },
+}
+
+impl MechanismKind {
+    /// Label used in reports/figures.
+    pub fn label(self) -> String {
+        match self {
+            MechanismKind::None => "base".into(),
+            MechanismKind::Dvfs => "DVFS".into(),
+            MechanismKind::Dfs => "DFS".into(),
+            MechanismKind::TwoLevel => "2level".into(),
+            MechanismKind::PtbTwoLevel { policy, relax } => {
+                if relax == 0.0 {
+                    format!("PTB+2level/{}", policy.label())
+                } else {
+                    format!("PTB+2level/{}+{:.0}%", policy.label(), relax * 100.0)
+                }
+            }
+            MechanismKind::PtbSpinGate { policy, relax } => {
+                if relax == 0.0 {
+                    format!("PTB+gate/{}", policy.label())
+                } else {
+                    format!("PTB+gate/{}+{:.0}%", policy.label(), relax * 100.0)
+                }
+            }
+        }
+    }
+}
+
+/// Full configuration of one simulation run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Number of cores (= threads; one thread per core as in the paper).
+    pub n_cores: usize,
+    /// Core micro-architecture (Table 1 defaults).
+    pub core: CoreConfig,
+    /// Memory system (Table 1 defaults).
+    pub mem: MemConfig,
+    /// Power model constants.
+    pub power: PowerParams,
+    /// Global power budget as a fraction of peak chip power (paper: 0.5).
+    pub budget_frac: f64,
+    /// Mechanism under test.
+    pub mechanism: MechanismKind,
+    /// PTB hardware parameters.
+    pub ptb: PtbConfig,
+    /// Workload scale.
+    pub scale: Scale,
+    /// Safety limit on simulated cycles.
+    pub max_cycles: u64,
+    /// Capture a per-cycle power trace (figures 5/6); costs memory.
+    pub capture_trace: bool,
+    /// Lumped-RC thermal model constants (the paper's temperature-stability
+    /// claim is evaluated with this).
+    pub thermal: ThermalParams,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            n_cores: 16,
+            core: CoreConfig::default(),
+            mem: MemConfig::default(),
+            power: PowerParams::default(),
+            budget_frac: 0.5,
+            mechanism: MechanismKind::None,
+            ptb: PtbConfig::default(),
+            scale: Scale::Small,
+            max_cycles: 80_000_000,
+            capture_trace: false,
+            thermal: ThermalParams::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ptb_latencies_match_paper() {
+        let p = PtbConfig::default();
+        assert_eq!(p.latency(2), 3);
+        assert_eq!(p.latency(4), 3);
+        assert_eq!(p.latency(8), 5);
+        assert_eq!(p.latency(16), 10);
+        let o = PtbConfig {
+            latency_override: Some(7),
+            ..Default::default()
+        };
+        assert_eq!(o.latency(16), 7);
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: Vec<String> = [
+            MechanismKind::None,
+            MechanismKind::Dvfs,
+            MechanismKind::Dfs,
+            MechanismKind::TwoLevel,
+            MechanismKind::PtbTwoLevel {
+                policy: PtbPolicy::ToAll,
+                relax: 0.0,
+            },
+            MechanismKind::PtbTwoLevel {
+                policy: PtbPolicy::ToOne,
+                relax: 0.0,
+            },
+            MechanismKind::PtbTwoLevel {
+                policy: PtbPolicy::Dynamic,
+                relax: 0.2,
+            },
+            MechanismKind::PtbSpinGate {
+                policy: PtbPolicy::Dynamic,
+                relax: 0.0,
+            },
+        ]
+        .iter()
+        .map(|m| m.label())
+        .collect();
+        let unique: std::collections::HashSet<_> = labels.iter().collect();
+        assert_eq!(unique.len(), labels.len());
+    }
+
+    #[test]
+    fn default_config_is_paper_shaped() {
+        let c = SimConfig::default();
+        assert_eq!(c.n_cores, 16);
+        assert_eq!(c.budget_frac, 0.5);
+        assert_eq!(c.core.rob_size, 128);
+        assert_eq!(c.mem.mem_latency, 300);
+    }
+}

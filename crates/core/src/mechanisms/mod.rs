@@ -1,0 +1,115 @@
+//! Power-management mechanisms.
+//!
+//! A [`Mechanism`] observes the chip once per global cycle (one cycle of
+//! lag, as real control hardware would have) and sets each core's DVFS
+//! mode and micro-architectural throttle for the next cycle.
+
+use crate::budget::BudgetSpec;
+use crate::config::{MechanismKind, PtbConfig};
+use ptb_isa::ExecCtx;
+use ptb_power::DvfsMode;
+use ptb_uarch::Throttle;
+
+pub mod ptb;
+pub mod saver;
+pub mod simple;
+pub mod spin_gate;
+
+pub use ptb::PtbMechanism;
+pub use saver::LocalSaver;
+pub use simple::{DfsMechanism, DvfsMechanism, NoMechanism, TwoLevelMechanism};
+pub use spin_gate::SpinGatedPtb;
+
+/// Per-core observation for one cycle.
+#[derive(Debug, Clone, Copy)]
+pub struct CoreObs {
+    /// Tokens the core consumed last cycle (the hardware token meter).
+    pub tokens: f64,
+    /// What the core is architecturally doing (drives the dynamic policy
+    /// selector; the paper's "assisted by application-specific
+    /// information" variant).
+    pub ctx: ExecCtx,
+    /// Core finished its thread.
+    pub done: bool,
+}
+
+/// Chip-wide observation for one cycle.
+#[derive(Debug)]
+pub struct ChipObs<'a> {
+    /// Global cycle.
+    pub cycle: u64,
+    /// Total chip tokens last cycle (cores + uncore + mechanism overhead).
+    pub chip_tokens: f64,
+    /// Uncore (caches/NoC/memory/mechanism) tokens last cycle. Budget-aware
+    /// mechanisms subtract a smoothed uncore estimate from the global
+    /// budget before splitting it among cores.
+    pub uncore_tokens: f64,
+    /// Per-core observations.
+    pub cores: &'a [CoreObs],
+}
+
+/// Knobs a mechanism sets per core, applied next cycle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoreAction {
+    /// DVFS operating point.
+    pub mode: DvfsMode,
+    /// Micro-architectural throttle.
+    pub throttle: Throttle,
+}
+
+impl Default for CoreAction {
+    fn default() -> Self {
+        CoreAction {
+            mode: DvfsMode::NOMINAL,
+            throttle: Throttle::none(),
+        }
+    }
+}
+
+/// A chip-level power-management policy.
+pub trait Mechanism: Send {
+    /// Human-readable name (report label).
+    fn name(&self) -> String;
+
+    /// Observe one cycle and update the per-core actions in place.
+    fn control(&mut self, obs: &ChipObs<'_>, budget: &BudgetSpec, actions: &mut [CoreAction]);
+
+    /// Constant per-cycle power overhead of the mechanism hardware, in
+    /// tokens (PTB's balancer + wires ≈ 1 % of the budget).
+    fn overhead_tokens(&self, _budget: &BudgetSpec) -> f64 {
+        0.0
+    }
+}
+
+/// Instantiate a mechanism from its config description.
+pub fn build(kind: MechanismKind, ptb_cfg: PtbConfig, n_cores: usize) -> Box<dyn Mechanism> {
+    match kind {
+        MechanismKind::None => Box::new(NoMechanism),
+        MechanismKind::Dvfs => Box::new(DvfsMechanism::new(n_cores)),
+        MechanismKind::Dfs => Box::new(DfsMechanism::new(n_cores)),
+        MechanismKind::TwoLevel => Box::new(TwoLevelMechanism::new(n_cores)),
+        MechanismKind::PtbTwoLevel { policy, relax } => {
+            Box::new(PtbMechanism::new(n_cores, policy, relax, ptb_cfg))
+        }
+        MechanismKind::PtbSpinGate { policy, relax } => {
+            Box::new(SpinGatedPtb::new(n_cores, policy, relax, ptb_cfg))
+        }
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use super::*;
+
+    /// Build `n` busy cores each consuming `tokens`.
+    pub fn busy_cores(n: usize, tokens: f64) -> Vec<CoreObs> {
+        vec![
+            CoreObs {
+                tokens,
+                ctx: ExecCtx::BUSY,
+                done: false
+            };
+            n
+        ]
+    }
+}

@@ -1,0 +1,291 @@
+//! Per-core local power-saving machinery shared by the 2-level and PTB
+//! mechanisms: a windowed DVFS controller (coarse level) plus a per-cycle
+//! micro-architectural throttle (fine level) that clips residual spikes.
+
+use ptb_power::{DvfsMode, DFS_MODES_REF, DVFS_MODES_REF};
+use ptb_uarch::Throttle;
+
+/// Re-exported mode ladders as slices (for controller selection).
+pub mod ladders {
+    pub use ptb_power::dvfs::{DFS_MODES, DVFS_MODES};
+}
+
+/// One core's local power-saving controller.
+#[derive(Debug, Clone)]
+pub struct LocalSaver {
+    modes: &'static [DvfsMode; 5],
+    /// Enable the fine-grained (micro-architectural) level.
+    fine_level: bool,
+    idx: usize,
+    window: u32,
+    win_n: u32,
+    win_tokens: f64,
+    win_budget: f64,
+    win_chip_over: u32,
+    /// Cycles per fine-level decision: 1 = per-cycle (PTB-grade),
+    /// [`Self::FINE_WINDOW`] = interval-based (plain 2-level).
+    fine_interval: u32,
+    fwin_n: u32,
+    fwin_tokens: f64,
+    fwin_budget: f64,
+    fwin_chip_over: u32,
+    /// Fine-level throttle state with hysteresis (escalate after 2
+    /// consecutive over-budget cycles, de-escalate after 16 comfortable
+    /// cycles) — a bang-bang controller would oscillate and re-accrue
+    /// area over the budget on every "off" half-period.
+    level: u8,
+    over_streak: u32,
+    under_streak: u32,
+    /// De-escalation persistence (staggered per core so all cores do not
+    /// release their throttles on the same cycle — synchronized release
+    /// re-aligns threads and creates chip-wide power peaks).
+    release_after: u32,
+}
+
+impl LocalSaver {
+    /// Evaluation window in cycles for the coarse (DVFS) level. DVFS needs
+    /// long windows to amortise transition costs (§I's criticism of DVFS).
+    pub const WINDOW: u32 = 256;
+
+    /// Evaluation window for the *windowed* fine level (the plain 2-level
+    /// mechanism of \[2\] selects its micro-architectural technique per
+    /// exploration interval, not per cycle — that granularity gap is
+    /// exactly what PTB's cycle-level token accounting removes).
+    pub const FINE_WINDOW: u32 = 64;
+
+    /// DVFS-ladder saver; `fine_level` adds the µarch throttle (per-cycle).
+    pub fn dvfs(fine_level: bool) -> Self {
+        LocalSaver {
+            modes: DVFS_MODES_REF,
+            fine_level,
+            fine_interval: 1,
+            idx: 0,
+            window: Self::WINDOW,
+            win_n: 0,
+            win_tokens: 0.0,
+            win_budget: 0.0,
+            win_chip_over: 0,
+            fwin_n: 0,
+            fwin_tokens: 0.0,
+            fwin_budget: 0.0,
+            fwin_chip_over: 0,
+            level: 0,
+            over_streak: 0,
+            under_streak: 0,
+            release_after: 16,
+        }
+    }
+
+    /// The plain 2-level saver: windowed technique selection. `core`
+    /// staggers the evaluation phases across the chip.
+    pub fn two_level_windowed(core: usize) -> Self {
+        let mut s = LocalSaver {
+            fine_interval: Self::FINE_WINDOW,
+            ..Self::dvfs(true)
+        };
+        s.stagger(core);
+        s
+    }
+
+    /// The PTB-grade saver: per-cycle technique selection with hysteresis.
+    pub fn two_level_percycle(core: usize) -> Self {
+        let mut s = Self::dvfs(true);
+        s.stagger(core);
+        s
+    }
+
+    /// Offset this core's window phases and release persistence so the
+    /// chip's controllers do not act in lockstep.
+    pub fn stagger(&mut self, core: usize) {
+        self.win_n = (core as u32 * 37) % self.window;
+        self.fwin_n = (core as u32 * 11) % self.fine_interval.max(1);
+        self.release_after = 12 + (core as u32 * 5) % 9;
+    }
+
+    /// DFS-ladder saver (frequency only, voltage pinned).
+    pub fn dfs() -> Self {
+        LocalSaver {
+            modes: DFS_MODES_REF,
+            ..Self::dvfs(false)
+        }
+    }
+
+    /// Current DVFS mode.
+    pub fn mode(&self) -> DvfsMode {
+        self.modes[self.idx]
+    }
+
+    /// Observe one cycle and produce the (mode, throttle) to apply.
+    ///
+    /// * `consumed` — the core's tokens last cycle;
+    /// * `budget_now` — the core's (effective) local budget this cycle;
+    /// * `chip_over` — is the whole chip over the global budget?
+    ///
+    /// Coarse level: every [`Self::WINDOW`] cycles, step the ladder down if
+    /// the windowed average exceeded the windowed budget while the chip was
+    /// over the global budget, and step back up when comfortably under.
+    /// Fine level: any cycle the core exceeds its budget while the chip is
+    /// over, apply a throttle level proportional to the overshoot.
+    pub fn step(
+        &mut self,
+        consumed: f64,
+        budget_now: f64,
+        chip_over: bool,
+    ) -> (DvfsMode, Throttle) {
+        self.win_n += 1;
+        self.win_tokens += consumed;
+        self.win_budget += budget_now;
+        if chip_over {
+            self.win_chip_over += 1;
+        }
+        if self.win_n >= self.window {
+            let avg = self.win_tokens / f64::from(self.win_n);
+            let avg_budget = self.win_budget / f64::from(self.win_n);
+            let mostly_over = self.win_chip_over * 2 > self.win_n;
+            if mostly_over && avg > avg_budget && self.idx + 1 < self.modes.len() {
+                self.idx += 1;
+            } else if avg < avg_budget * 0.85 && self.idx > 0 {
+                self.idx -= 1;
+            }
+            self.win_n = 0;
+            self.win_tokens = 0.0;
+            self.win_budget = 0.0;
+            self.win_chip_over = 0;
+        }
+        if self.fine_level && self.fine_interval > 1 {
+            // Interval-based selection: pick the technique for the next
+            // window from this window's average overshoot.
+            self.fwin_n += 1;
+            self.fwin_tokens += consumed;
+            self.fwin_budget += budget_now;
+            if chip_over {
+                self.fwin_chip_over += 1;
+            }
+            if self.fwin_n >= self.fine_interval {
+                let avg = self.fwin_tokens / f64::from(self.fwin_n);
+                let avg_budget = self.fwin_budget / f64::from(self.fwin_n);
+                let mostly_over = self.fwin_chip_over * 2 > self.fwin_n;
+                self.level = if mostly_over && avg_budget > 0.0 && avg > avg_budget {
+                    match avg / avg_budget {
+                        r if r > 1.5 => 3,
+                        r if r > 1.2 => 2,
+                        _ => 1,
+                    }
+                } else {
+                    0
+                };
+                self.fwin_n = 0;
+                self.fwin_tokens = 0.0;
+                self.fwin_budget = 0.0;
+                self.fwin_chip_over = 0;
+            }
+        } else if self.fine_level {
+            if chip_over && consumed > budget_now && budget_now > 0.0 {
+                self.over_streak += 1;
+                self.under_streak = 0;
+                // Escalate immediately; cycle-level token accounting is
+                // exactly what lets PTB react this fast (§I bullet list).
+                self.level = (self.level + 1).min(Throttle::LEVELS - 1);
+            } else if !chip_over || consumed < budget_now * 0.90 {
+                self.under_streak += 1;
+                self.over_streak = 0;
+                if self.under_streak >= self.release_after {
+                    self.level = self.level.saturating_sub(1);
+                    self.under_streak = 0;
+                }
+            } else {
+                // Comfortable band: hold the level.
+                self.over_streak = 0;
+                self.under_streak = 0;
+            }
+        }
+        let throttle = if self.fine_level {
+            Throttle::level(self.level)
+        } else {
+            Throttle::none()
+        };
+        (self.mode(), throttle)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sustained_overshoot_walks_down_the_ladder() {
+        let mut s = LocalSaver::dvfs(false);
+        for _ in 0..LocalSaver::WINDOW * 6 {
+            s.step(400.0, 250.0, true);
+        }
+        assert_eq!(
+            s.mode(),
+            ladders::DVFS_MODES[4],
+            "should reach the lowest mode"
+        );
+    }
+
+    #[test]
+    fn under_budget_recovers_to_nominal() {
+        let mut s = LocalSaver::dvfs(false);
+        for _ in 0..LocalSaver::WINDOW * 6 {
+            s.step(400.0, 250.0, true);
+        }
+        for _ in 0..LocalSaver::WINDOW * 8 {
+            s.step(100.0, 250.0, false);
+        }
+        assert_eq!(s.mode(), ladders::DVFS_MODES[0]);
+    }
+
+    #[test]
+    fn chip_under_budget_blocks_downscaling() {
+        // Core over its local share but the chip is fine (paper Figure 5,
+        // cycle 3): no mechanism should trigger.
+        let mut s = LocalSaver::dvfs(true);
+        for _ in 0..LocalSaver::WINDOW * 4 {
+            let (_, t) = s.step(400.0, 250.0, false);
+            assert_eq!(t, Throttle::none());
+        }
+        assert_eq!(s.mode(), ladders::DVFS_MODES[0]);
+    }
+
+    #[test]
+    fn fine_level_clips_sustained_spikes_quickly() {
+        let mut s = LocalSaver::dvfs(true);
+        // Large overshoot escalates after a single confirmation cycle.
+        let (_, t1) = s.step(400.0, 250.0, true);
+        let (_, t2) = s.step(400.0, 250.0, true);
+        assert!(
+            t1.active() || t2.active(),
+            "sustained overshoot must throttle within 2 cycles"
+        );
+    }
+
+    #[test]
+    fn hysteresis_holds_throttle_through_comfort_band() {
+        let mut s = LocalSaver::dvfs(true);
+        for _ in 0..4 {
+            s.step(400.0, 250.0, true);
+        }
+        // In the comfortable band (just under budget) the level holds.
+        let (_, t) = s.step(245.0, 250.0, true);
+        assert!(t.active(), "level must hold just under budget");
+        // Sixteen comfortable cycles release one level.
+        let mut last = t;
+        for _ in 0..64 {
+            let (_, t) = s.step(100.0, 250.0, false);
+            last = t;
+        }
+        assert!(!last.active(), "sustained slack must release the throttle");
+    }
+
+    #[test]
+    fn dfs_ladder_keeps_voltage_nominal() {
+        let mut s = LocalSaver::dfs();
+        for _ in 0..LocalSaver::WINDOW * 6 {
+            s.step(400.0, 250.0, true);
+        }
+        assert_eq!(s.mode().v, 1.0);
+        assert!(s.mode().f < 1.0);
+    }
+}

@@ -1,0 +1,229 @@
+//! Baseline mechanisms: none, DVFS, DFS and the 2-level hybrid — all with
+//! the naive equal split of the global budget among cores (§III.C).
+
+use crate::budget::BudgetSpec;
+use crate::mechanisms::{ChipObs, CoreAction, LocalSaver, Mechanism};
+
+/// Smoothed uncore power estimate: mechanisms budget the cores with what
+/// the uncore leaves over (`global − uncore_ema`), split equally.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct UncoreEma(f64);
+
+impl UncoreEma {
+    pub(crate) fn update(&mut self, uncore: f64) -> f64 {
+        const ALPHA: f64 = 0.02;
+        self.0 = if self.0 == 0.0 {
+            uncore
+        } else {
+            ALPHA * uncore + (1.0 - ALPHA) * self.0
+        };
+        self.0
+    }
+}
+
+/// No power control; the normalisation baseline.
+pub struct NoMechanism;
+
+impl Mechanism for NoMechanism {
+    fn name(&self) -> String {
+        "base".into()
+    }
+
+    fn control(&mut self, _obs: &ChipObs<'_>, _budget: &BudgetSpec, _actions: &mut [CoreAction]) {}
+}
+
+/// Per-core windowed DVFS toward the naive local budget.
+pub struct DvfsMechanism {
+    savers: Vec<LocalSaver>,
+    uncore: UncoreEma,
+}
+
+impl DvfsMechanism {
+    /// Controller for `n` cores.
+    pub fn new(n: usize) -> Self {
+        DvfsMechanism {
+            savers: (0..n).map(|_| LocalSaver::dvfs(false)).collect(),
+            uncore: UncoreEma::default(),
+        }
+    }
+}
+
+impl Mechanism for DvfsMechanism {
+    fn name(&self) -> String {
+        "DVFS".into()
+    }
+
+    fn control(&mut self, obs: &ChipObs<'_>, budget: &BudgetSpec, actions: &mut [CoreAction]) {
+        let chip_over = obs.chip_tokens > budget.global;
+        let local = core_local_budget(budget, self.uncore.update(obs.uncore_tokens));
+        for (i, saver) in self.savers.iter_mut().enumerate() {
+            let (mode, _) = saver.step(obs.cores[i].tokens, local, chip_over);
+            actions[i].mode = mode;
+        }
+    }
+}
+
+/// Equal split of what the uncore leaves of the global budget.
+pub(crate) fn core_local_budget(budget: &BudgetSpec, uncore_ema: f64) -> f64 {
+    ((budget.global - uncore_ema).max(budget.global * 0.3)) / budget.n_cores as f64
+}
+
+/// Per-core windowed DFS (frequency only).
+pub struct DfsMechanism {
+    savers: Vec<LocalSaver>,
+    uncore: UncoreEma,
+}
+
+impl DfsMechanism {
+    /// Controller for `n` cores.
+    pub fn new(n: usize) -> Self {
+        DfsMechanism {
+            savers: (0..n).map(|_| LocalSaver::dfs()).collect(),
+            uncore: UncoreEma::default(),
+        }
+    }
+}
+
+impl Mechanism for DfsMechanism {
+    fn name(&self) -> String {
+        "DFS".into()
+    }
+
+    fn control(&mut self, obs: &ChipObs<'_>, budget: &BudgetSpec, actions: &mut [CoreAction]) {
+        let chip_over = obs.chip_tokens > budget.global;
+        let local = core_local_budget(budget, self.uncore.update(obs.uncore_tokens));
+        for (i, saver) in self.savers.iter_mut().enumerate() {
+            let (mode, _) = saver.step(obs.cores[i].tokens, local, chip_over);
+            actions[i].mode = mode;
+        }
+    }
+}
+
+/// The 2-level hybrid of \[2\]: coarse DVFS + fine micro-architectural
+/// spike clipping, applied per core against the naive local budget.
+pub struct TwoLevelMechanism {
+    savers: Vec<LocalSaver>,
+    uncore: UncoreEma,
+}
+
+impl TwoLevelMechanism {
+    /// Controller for `n` cores.
+    pub fn new(n: usize) -> Self {
+        TwoLevelMechanism {
+            savers: (0..n).map(LocalSaver::two_level_windowed).collect(),
+            uncore: UncoreEma::default(),
+        }
+    }
+}
+
+impl Mechanism for TwoLevelMechanism {
+    fn name(&self) -> String {
+        "2level".into()
+    }
+
+    fn control(&mut self, obs: &ChipObs<'_>, budget: &BudgetSpec, actions: &mut [CoreAction]) {
+        let chip_over = obs.chip_tokens > budget.global;
+        let local = core_local_budget(budget, self.uncore.update(obs.uncore_tokens));
+        for (i, saver) in self.savers.iter_mut().enumerate() {
+            let (mode, throttle) = saver.step(obs.cores[i].tokens, local, chip_over);
+            actions[i].mode = mode;
+            actions[i].throttle = throttle;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mechanisms::testutil::busy_cores;
+    use ptb_power::{DvfsMode, PowerParams};
+    use ptb_uarch::{CoreConfig, Throttle};
+
+    fn budget(n: usize) -> BudgetSpec {
+        BudgetSpec::new(&PowerParams::default(), &CoreConfig::default(), n, 0.5)
+    }
+
+    #[test]
+    fn none_leaves_actions_nominal() {
+        let b = budget(4);
+        let cores = busy_cores(4, 1000.0);
+        let mut actions = vec![CoreAction::default(); 4];
+        let obs = ChipObs {
+            cycle: 0,
+            chip_tokens: 4000.0,
+            uncore_tokens: 0.0,
+            cores: &cores,
+        };
+        let mut m = NoMechanism;
+        m.control(&obs, &b, &mut actions);
+        for a in &actions {
+            assert_eq!(a.mode, DvfsMode::NOMINAL);
+            assert_eq!(a.throttle, Throttle::none());
+        }
+    }
+
+    #[test]
+    fn dvfs_downscales_under_sustained_overshoot() {
+        let b = budget(4);
+        let mut m = DvfsMechanism::new(4);
+        let cores = busy_cores(4, b.local * 1.5);
+        let mut actions = vec![CoreAction::default(); 4];
+        for cycle in 0..LocalSaver::WINDOW as u64 * 4 {
+            let obs = ChipObs {
+                cycle,
+                chip_tokens: b.global * 1.5,
+                uncore_tokens: 0.0,
+                cores: &cores,
+            };
+            m.control(&obs, &b, &mut actions);
+        }
+        assert!(actions[0].mode.f < 1.0, "DVFS should have scaled down");
+        assert_eq!(
+            actions[0].throttle,
+            Throttle::none(),
+            "plain DVFS never throttles"
+        );
+    }
+
+    #[test]
+    fn two_level_throttles_after_an_evaluation_window() {
+        let b = budget(4);
+        let mut m = TwoLevelMechanism::new(4);
+        let cores = busy_cores(4, b.local * 1.6);
+        let mut actions = vec![CoreAction::default(); 4];
+        for cycle in 0..u64::from(LocalSaver::FINE_WINDOW) + 1 {
+            let obs = ChipObs {
+                cycle,
+                chip_tokens: b.global * 1.6,
+                uncore_tokens: 0.0,
+                cores: &cores,
+            };
+            m.control(&obs, &b, &mut actions);
+        }
+        assert!(
+            actions[0].throttle.active(),
+            "sustained overshoot must throttle"
+        );
+        // Severe overshoot selects an aggressive level.
+        assert!(actions[0].throttle.issue_width <= 2);
+    }
+
+    #[test]
+    fn dfs_never_lowers_voltage() {
+        let b = budget(4);
+        let mut m = DfsMechanism::new(4);
+        let cores = busy_cores(4, b.local * 2.0);
+        let mut actions = vec![CoreAction::default(); 4];
+        for cycle in 0..LocalSaver::WINDOW as u64 * 6 {
+            let obs = ChipObs {
+                cycle,
+                chip_tokens: b.global * 2.0,
+                uncore_tokens: 0.0,
+                cores: &cores,
+            };
+            m.control(&obs, &b, &mut actions);
+        }
+        assert_eq!(actions[0].mode.v, 1.0);
+        assert!(actions[0].mode.f < 1.0);
+    }
+}

@@ -1,0 +1,190 @@
+//! PTB with spin gating — the paper's future-work extension (§IV.C):
+//! *"higher energy savings could be achieved if we use PTB as a spinlock
+//! detector and we disable the spinning cores to save power"*.
+//!
+//! PTB already observes per-core, per-cycle token counts; a core parked on
+//! the characteristic low, stable plateau (Figure 6) is presumed spinning
+//! and gets *gated*: a throttle deeper than any the 2-level ladder uses,
+//! slowing its poll loop to a crawl. The detector needs no architectural
+//! information — it is the [`ptb_sync::PowerSpinDetector`] fed with the
+//! same token meter the balancer uses. When the lock/barrier releases, the
+//! core's power signature changes, the detector resets, and the gate
+//! lifts.
+
+use crate::budget::BudgetSpec;
+use crate::config::{PtbConfig, PtbPolicy};
+use crate::mechanisms::ptb::PtbMechanism;
+use crate::mechanisms::{ChipObs, CoreAction, Mechanism};
+use ptb_sync::PowerSpinDetector;
+use ptb_uarch::Throttle;
+
+/// The gate applied to detected spinners: deeper than `Throttle::level(3)`
+/// but not a full stop — the core must still poll to notice the release.
+pub fn gate_throttle() -> Throttle {
+    Throttle {
+        fetch_every: 16,
+        issue_width: 1,
+        rob_cap: 8,
+    }
+}
+
+/// PTB + power-pattern spin gating.
+pub struct SpinGatedPtb {
+    inner: PtbMechanism,
+    detectors: Vec<PowerSpinDetector>,
+    /// Cores currently gated (diagnostics).
+    pub gated: Vec<bool>,
+    /// Total core-cycles spent gated (diagnostics).
+    pub gated_cycles: u64,
+    configured: bool,
+}
+
+impl SpinGatedPtb {
+    /// Build for `n` cores with the given distribution policy.
+    pub fn new(n: usize, policy: PtbPolicy, relax: f64, cfg: PtbConfig) -> Self {
+        SpinGatedPtb {
+            inner: PtbMechanism::new(n, policy, relax, cfg),
+            // Thresholds are set against the budget on first control call
+            // (the budget is not known at construction).
+            detectors: (0..n)
+                .map(|_| PowerSpinDetector::new(1.0, 0.35, 300))
+                .collect(),
+            gated: vec![false; n],
+            gated_cycles: 0,
+            configured: false,
+        }
+    }
+}
+
+impl Mechanism for SpinGatedPtb {
+    fn name(&self) -> String {
+        format!("{}+gate", self.inner.name())
+    }
+
+    fn control(&mut self, obs: &ChipObs<'_>, budget: &BudgetSpec, actions: &mut [CoreAction]) {
+        if !self.configured {
+            for d in &mut self.detectors {
+                // "Presumably under the budget" (§III.E): a plateau below
+                // ~3/4 of the naive local budget reads as spinning.
+                d.low_threshold = budget.local * 0.75;
+            }
+            self.configured = true;
+        }
+        // Run the full PTB machinery first (balancing + local enforcement).
+        self.inner.control(obs, budget, actions);
+        // Then gate detected spinners. Gating works even when the chip is
+        // under the global budget — that is where the *energy* savings
+        // come from (the paper's future-work motivation).
+        for (i, core) in obs.cores.iter().enumerate() {
+            let spinning = self.detectors[i].observe(core.tokens) && !core.done;
+            self.gated[i] = spinning;
+            if spinning {
+                actions[i].throttle = gate_throttle();
+                self.gated_cycles += 1;
+            }
+        }
+    }
+
+    fn overhead_tokens(&self, budget: &BudgetSpec) -> f64 {
+        self.inner.overhead_tokens(budget)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mechanisms::CoreObs;
+    use ptb_isa::ExecCtx;
+    use ptb_power::PowerParams;
+    use ptb_uarch::CoreConfig;
+
+    fn budget(n: usize) -> BudgetSpec {
+        BudgetSpec::new(&PowerParams::default(), &CoreConfig::default(), n, 0.5)
+    }
+
+    #[test]
+    fn plateau_core_gets_gated_and_recovers() {
+        let b = budget(4);
+        let mut m = SpinGatedPtb::new(4, PtbPolicy::ToAll, 0.0, PtbConfig::default());
+        let mut actions = vec![CoreAction::default(); 4];
+        // Core 3 sits on a low, stable plateau; the rest are busy.
+        for cycle in 0..600u64 {
+            let cores: Vec<CoreObs> = (0..4)
+                .map(|i| CoreObs {
+                    tokens: if i == 3 { b.local * 0.4 } else { b.local * 1.1 },
+                    ctx: ExecCtx::BUSY,
+                    done: false,
+                })
+                .collect();
+            let chip = cores.iter().map(|c| c.tokens).sum::<f64>();
+            let obs = ChipObs {
+                cycle,
+                chip_tokens: chip,
+                uncore_tokens: 0.0,
+                cores: &cores,
+            };
+            m.control(&obs, &b, &mut actions);
+        }
+        assert!(m.gated[3], "plateau core must be gated");
+        assert_eq!(actions[3].throttle, gate_throttle());
+        assert!(!m.gated[0], "busy cores must not be gated");
+        // The spinner wakes up (lock released): power jumps, gate lifts.
+        for cycle in 600..640u64 {
+            let cores: Vec<CoreObs> = (0..4)
+                .map(|_| CoreObs {
+                    tokens: b.local * 1.1,
+                    ctx: ExecCtx::BUSY,
+                    done: false,
+                })
+                .collect();
+            let chip = cores.iter().map(|c| c.tokens).sum::<f64>();
+            let obs = ChipObs {
+                cycle,
+                chip_tokens: chip,
+                uncore_tokens: 0.0,
+                cores: &cores,
+            };
+            m.control(&obs, &b, &mut actions);
+        }
+        assert!(
+            !m.gated[3],
+            "gate must lift when the power signature changes"
+        );
+    }
+
+    #[test]
+    fn gate_is_deeper_than_any_ladder_level() {
+        let g = gate_throttle();
+        let deepest = Throttle::level(3);
+        assert!(g.fetch_every > deepest.fetch_every);
+        assert!(g.rob_cap <= deepest.rob_cap);
+    }
+
+    #[test]
+    fn noisy_cores_are_never_gated() {
+        let b = budget(2);
+        let mut m = SpinGatedPtb::new(2, PtbPolicy::ToAll, 0.0, PtbConfig::default());
+        let mut actions = vec![CoreAction::default(); 2];
+        for cycle in 0..1000u64 {
+            let wobble = if cycle % 2 == 0 { 0.2 } else { 1.3 };
+            let cores = vec![
+                CoreObs {
+                    tokens: b.local * wobble,
+                    ctx: ExecCtx::BUSY,
+                    done: false
+                };
+                2
+            ];
+            let chip = cores.iter().map(|c| c.tokens).sum::<f64>();
+            let obs = ChipObs {
+                cycle,
+                chip_tokens: chip,
+                uncore_tokens: 0.0,
+                cores: &cores,
+            };
+            m.control(&obs, &b, &mut actions);
+        }
+        assert!(!m.gated[0] && !m.gated[1]);
+        assert_eq!(m.gated_cycles, 0);
+    }
+}

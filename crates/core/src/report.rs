@@ -1,0 +1,209 @@
+//! Run reports and the paper's evaluation metrics.
+
+use crate::budget::BudgetSpec;
+use crate::trace::PowerTrace;
+use ptb_isa::CtxState;
+use serde::{Deserialize, Serialize};
+
+/// Per-core outcome of a run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CoreReport {
+    /// Global cycles attributed to each context bucket
+    /// (busy / lock-acq / lock-rel / barrier), Figure 3's quantity.
+    pub ctx_cycles: [u64; CtxState::BUCKETS],
+    /// Global cycles spent in spin loops.
+    pub spin_cycles: u64,
+    /// Tokens consumed while spinning (Figure 4's numerator).
+    pub spin_tokens: f64,
+    /// Total tokens consumed by this core.
+    pub tokens: f64,
+    /// Instructions committed.
+    pub committed: u64,
+    /// Branch misprediction rate.
+    pub mispredict_rate: f64,
+    /// PTHT relative estimation error (paper claims < 1 % for 8 classes).
+    pub ptht_error: f64,
+}
+
+/// The complete result of one simulation run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Mechanism label.
+    pub mechanism: String,
+    /// Core count.
+    pub n_cores: usize,
+    /// Global cycles to completion (the performance metric).
+    pub cycles: u64,
+    /// Budget in force.
+    pub budget: BudgetSpec,
+    /// Total chip energy in tokens.
+    pub energy_tokens: f64,
+    /// Total chip energy in joules.
+    pub energy_joules: f64,
+    /// Area over the Power Budget in token·cycles (§III.A):
+    /// Σ max(0, chip − budget) over all cycles.
+    pub aopb_tokens: f64,
+    /// AoPB in joules.
+    pub aopb_joules: f64,
+    /// Mean chip tokens/cycle.
+    pub mean_power: f64,
+    /// Std-dev of per-cycle chip tokens (PTB minimises this).
+    pub power_stddev: f64,
+    /// Cycles the chip spent over the global budget.
+    pub cycles_over_budget: u64,
+    /// Peak temperature reached by any core, °C.
+    pub max_temp_c: f64,
+    /// Run-mean of the chip-mean core temperature, °C.
+    pub mean_temp_c: f64,
+    /// Chip-mean per-core temperature standard deviation, °C (the paper:
+    /// PTB keeps temperature more stable than DVFS).
+    pub temp_stddev_c: f64,
+    /// Per-core details.
+    pub cores: Vec<CoreReport>,
+    /// Optional power trace.
+    pub trace: Option<PowerTrace>,
+}
+
+impl RunReport {
+    /// Fraction of execution time over the budget.
+    pub fn over_budget_frac(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.cycles_over_budget as f64 / self.cycles as f64
+        }
+    }
+
+    /// Total committed instructions.
+    pub fn committed(&self) -> u64 {
+        self.cores.iter().map(|c| c.committed).sum()
+    }
+
+    /// Chip-wide spin-power fraction (Figure 4): tokens consumed while
+    /// spinning over total tokens.
+    pub fn spin_power_frac(&self) -> f64 {
+        let spin: f64 = self.cores.iter().map(|c| c.spin_tokens).sum();
+        if self.energy_tokens == 0.0 {
+            0.0
+        } else {
+            spin / self.energy_tokens
+        }
+    }
+
+    /// Execution-time breakdown averaged over cores, as fractions
+    /// [busy, lock-acq, lock-rel, barrier] (Figure 3).
+    pub fn breakdown_frac(&self) -> [f64; CtxState::BUCKETS] {
+        let mut total = [0u64; CtxState::BUCKETS];
+        for c in &self.cores {
+            for (t, v) in total.iter_mut().zip(c.ctx_cycles) {
+                *t += v;
+            }
+        }
+        let sum: u64 = total.iter().sum();
+        if sum == 0 {
+            return [0.0; CtxState::BUCKETS];
+        }
+        total.map(|v| v as f64 / sum as f64)
+    }
+}
+
+/// Normalised energy delta in percent: `100 × (E_mech / E_base − 1)`
+/// (the y-axis of the paper's energy figures; negative = savings).
+pub fn normalized_energy_pct(base: &RunReport, mech: &RunReport) -> f64 {
+    if base.energy_tokens == 0.0 {
+        return 0.0;
+    }
+    100.0 * (mech.energy_tokens / base.energy_tokens - 1.0)
+}
+
+/// Normalised AoPB in percent of the baseline's AoPB (the y-axis of the
+/// paper's accuracy figures; 0 = perfect, 100 = as bad as no control).
+pub fn normalized_aopb_pct(base: &RunReport, mech: &RunReport) -> f64 {
+    if base.aopb_tokens == 0.0 {
+        return 0.0;
+    }
+    100.0 * mech.aopb_tokens / base.aopb_tokens
+}
+
+/// Performance slowdown in percent (Figure 13; positive = slower).
+pub fn slowdown_pct(base: &RunReport, mech: &RunReport) -> f64 {
+    if base.cycles == 0 {
+        return 0.0;
+    }
+    100.0 * (mech.cycles as f64 / base.cycles as f64 - 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptb_power::PowerParams;
+    use ptb_uarch::CoreConfig;
+
+    fn dummy(cycles: u64, energy: f64, aopb: f64) -> RunReport {
+        RunReport {
+            benchmark: "t".into(),
+            mechanism: "m".into(),
+            n_cores: 2,
+            cycles,
+            budget: BudgetSpec::new(&PowerParams::default(), &CoreConfig::default(), 2, 0.5),
+            energy_tokens: energy,
+            energy_joules: 0.0,
+            aopb_tokens: aopb,
+            aopb_joules: 0.0,
+            mean_power: 0.0,
+            power_stddev: 0.0,
+            cycles_over_budget: cycles / 2,
+            max_temp_c: 70.0,
+            mean_temp_c: 60.0,
+            temp_stddev_c: 1.0,
+            cores: vec![
+                CoreReport {
+                    ctx_cycles: [60, 20, 10, 10],
+                    spin_cycles: 25,
+                    spin_tokens: 10.0,
+                    tokens: energy / 2.0,
+                    committed: 100,
+                    mispredict_rate: 0.05,
+                    ptht_error: 0.01,
+                };
+                2
+            ],
+            trace: None,
+        }
+    }
+
+    #[test]
+    fn normalisation_math() {
+        let base = dummy(1000, 200.0, 50.0);
+        let mech = dummy(1020, 206.0, 5.0);
+        assert!((normalized_energy_pct(&base, &mech) - 3.0).abs() < 1e-9);
+        assert!((normalized_aopb_pct(&base, &mech) - 10.0).abs() < 1e-9);
+        assert!((slowdown_pct(&base, &mech) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn breakdown_fractions_sum_to_one() {
+        let r = dummy(100, 100.0, 10.0);
+        let f = r.breakdown_frac();
+        assert!((f.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!((f[0] - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spin_power_fraction() {
+        let r = dummy(100, 100.0, 10.0);
+        assert!((r.spin_power_frac() - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_baselines_are_safe() {
+        let base = dummy(0, 0.0, 0.0);
+        let mech = dummy(10, 10.0, 1.0);
+        assert_eq!(normalized_energy_pct(&base, &mech), 0.0);
+        assert_eq!(normalized_aopb_pct(&base, &mech), 0.0);
+        assert_eq!(slowdown_pct(&base, &mech), 0.0);
+        assert_eq!(base.over_budget_frac(), 0.0);
+    }
+}

@@ -1,0 +1,331 @@
+//! The CMP simulator top level: cores + memory + synchronisation fabric +
+//! power sampling + the power-management mechanism, advanced in lockstep
+//! one global (3 GHz reference) cycle at a time.
+
+use crate::budget::BudgetSpec;
+use crate::config::SimConfig;
+use crate::mechanisms::{self, ChipObs, CoreAction, CoreObs, Mechanism};
+use crate::report::{CoreReport, RunReport};
+use crate::trace::PowerTrace;
+use ptb_isa::{Addr, CoreId, CtxState, InstStream, StreamEnv};
+use ptb_mem::{AccessKind, MemReq, MemorySystem};
+use ptb_power::{
+    core_cycle_tokens, uncore_cycle_tokens, ChipEnergy, CoreActivity, DvfsMode, PowerSample,
+    ThermalModel, UncoreActivity,
+};
+use ptb_sync::SyncFabric;
+use ptb_uarch::{Core, CoreMemKind, CoreMemReq, RmwExec};
+use ptb_workloads::{Benchmark, ThreadEngine, WorkloadSpec};
+
+/// Simulation failure modes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The run did not finish within `max_cycles`.
+    MaxCyclesExceeded {
+        /// The configured limit.
+        limit: u64,
+        /// Cores still running at the limit.
+        unfinished: Vec<usize>,
+    },
+    /// The workload does not match the machine.
+    BadWorkload(String),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::MaxCyclesExceeded { limit, unfinished } => {
+                write!(
+                    f,
+                    "simulation exceeded {limit} cycles; cores {unfinished:?} unfinished"
+                )
+            }
+            SimError::BadWorkload(s) => write!(f, "bad workload: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// A configured simulation, ready to run workloads.
+pub struct Simulation {
+    cfg: SimConfig,
+}
+
+struct FabricEnv<'a> {
+    fabric: &'a SyncFabric,
+    cycle: u64,
+}
+
+impl StreamEnv for FabricEnv<'_> {
+    fn read_sync_word(&self, addr: Addr) -> u64 {
+        self.fabric.read(addr)
+    }
+    fn now(&self) -> u64 {
+        self.cycle
+    }
+}
+
+impl Simulation {
+    /// Create a simulation from a config.
+    pub fn new(cfg: SimConfig) -> Self {
+        Simulation { cfg }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Build and run `bench` at the configured scale and core count.
+    pub fn run(&self, bench: Benchmark) -> Result<RunReport, SimError> {
+        let spec = bench.spec(self.cfg.n_cores, self.cfg.scale);
+        self.run_spec(&spec)
+    }
+
+    /// Run a custom workload spec (must have one thread per core).
+    pub fn run_spec(&self, spec: &WorkloadSpec) -> Result<RunReport, SimError> {
+        let n = self.cfg.n_cores;
+        if spec.n_threads() != n {
+            return Err(SimError::BadWorkload(format!(
+                "workload has {} threads for {} cores",
+                spec.n_threads(),
+                n
+            )));
+        }
+        let problems = spec.validate();
+        if !problems.is_empty() {
+            return Err(SimError::BadWorkload(problems.join("; ")));
+        }
+
+        let params = &self.cfg.power;
+        let budget = BudgetSpec::new(params, &self.cfg.core, n, self.cfg.budget_frac);
+        let mut cores: Vec<Core> = (0..n)
+            .map(|c| Core::new(CoreId(c), self.cfg.core, params.class_base))
+            .collect();
+        let mut engines: Vec<ThreadEngine> = spec.engines();
+        let mut mem = MemorySystem::new(self.cfg.mem, n);
+        let mut fabric = SyncFabric::new();
+        let mut mechanism: Box<dyn Mechanism> =
+            mechanisms::build(self.cfg.mechanism, self.cfg.ptb, n);
+
+        let mut actions = vec![CoreAction::default(); n];
+        let mut current_mode = vec![DvfsMode::NOMINAL; n];
+        let mut freq_acc = vec![0.0f64; n];
+        let mut transition = vec![0u64; n];
+
+        let mut energy = ChipEnergy::new(n);
+        let mut aopb_tokens = 0.0f64;
+        let mut cycles_over = 0u64;
+        let mut ctx_cycles = vec![[0u64; CtxState::BUCKETS]; n];
+        let mut spin_cycles = vec![0u64; n];
+        let mut spin_tokens = vec![0.0f64; n];
+        let mut trace = self
+            .cfg
+            .capture_trace
+            .then(|| PowerTrace::new(n, 1, 4_000_000));
+        // Thermal integration: step the RC model once per `dt` of simulated
+        // time, driving it with the interval-average power per core.
+        let mesh_width = ptb_noc::MeshConfig::for_cores(n).width;
+        let mut thermal = ThermalModel::new(self.cfg.thermal, n, mesh_width);
+        let thermal_stride = ((self.cfg.thermal.dt * params.freq_hz) as u64).max(1);
+        let mut thermal_acc = vec![0.0f64; n];
+        let mut thermal_watts = vec![0.0f64; n];
+
+        let mut retry: Vec<Vec<CoreMemReq>> = vec![Vec::new(); n];
+        let mut mem_buf: Vec<CoreMemReq> = Vec::new();
+        let mut rmw_buf: Vec<RmwExec> = Vec::new();
+        let mut tokens = vec![0.0f64; n];
+        let mut obs_buf: Vec<CoreObs> = Vec::with_capacity(n);
+
+        let mut cycle: u64 = 0;
+        loop {
+            cycle += 1;
+            if cycle > self.cfg.max_cycles {
+                let unfinished = (0..n).filter(|&c| !cores[c].is_done()).collect::<Vec<_>>();
+                return Err(SimError::MaxCyclesExceeded {
+                    limit: self.cfg.max_cycles,
+                    unfinished,
+                });
+            }
+
+            // 1. Memory system advances; completions reach the cores.
+            mem.tick();
+            for resp in mem.drain_responses() {
+                cores[resp.core.index()].mem_response(resp.id);
+            }
+
+            // 2. Atomic RMWs whose ownership landed execute functionally,
+            //    in deterministic core order; streams learn the old value.
+            for c in 0..n {
+                rmw_buf.clear();
+                cores[c].drain_rmw_execs(&mut rmw_buf);
+                for r in &rmw_buf {
+                    let old = fabric.execute(r.op, r.addr, r.operand);
+                    engines[c].rmw_result(r.token, old);
+                }
+            }
+
+            // 3. Core clocks (frequency-scaled) tick.
+            for c in 0..n {
+                let mode = current_mode[c];
+                let act: CoreActivity = if transition[c] > 0 {
+                    // Stalled mid-DVFS-transition: leakage only.
+                    transition[c] -= 1;
+                    CoreActivity::default()
+                } else {
+                    freq_acc[c] += mode.f;
+                    if freq_acc[c] >= 1.0 {
+                        freq_acc[c] -= 1.0;
+                        let mut env = FabricEnv {
+                            fabric: &fabric,
+                            cycle,
+                        };
+                        cores[c].tick(&mut engines[c], &mut env)
+                    } else {
+                        CoreActivity::default()
+                    }
+                };
+                tokens[c] = core_cycle_tokens(params, &act, mode);
+
+                // Forward freshly-emitted memory requests (with retry on
+                // input-queue backpressure).
+                mem_buf.clear();
+                cores[c].drain_mem_requests(&mut mem_buf);
+                retry[c].append(&mut mem_buf);
+                while let Some(req) = retry[c].first().copied() {
+                    let accepted = mem.request(MemReq {
+                        id: req.id,
+                        core: CoreId(c),
+                        kind: match req.kind {
+                            CoreMemKind::Load => AccessKind::Load,
+                            CoreMemKind::Store => AccessKind::Store,
+                            CoreMemKind::Rmw => AccessKind::Rmw,
+                        },
+                        addr: req.addr,
+                    });
+                    if accepted {
+                        retry[c].remove(0);
+                    } else {
+                        break;
+                    }
+                }
+            }
+
+            // 4. Power sample for this cycle.
+            let mem_act = mem.take_activity();
+            let uncore = uncore_cycle_tokens(
+                params,
+                &UncoreActivity {
+                    l1_accesses: mem_act.l1_accesses,
+                    l2_accesses: mem_act.l2_accesses,
+                    noc_flit_hops: mem_act.noc_flit_hops,
+                    mem_accesses: mem_act.mem_accesses,
+                },
+            ) + mechanism.overhead_tokens(&budget);
+            let sample = PowerSample {
+                per_core: tokens.clone(),
+                uncore,
+            };
+            let chip = sample.chip();
+            energy.add(&sample);
+            if chip > budget.global {
+                aopb_tokens += chip - budget.global;
+                cycles_over += 1;
+            }
+            if let Some(t) = trace.as_mut() {
+                t.record(cycle, chip, &tokens);
+            }
+            for (acc, &t) in thermal_acc.iter_mut().zip(&tokens) {
+                *acc += t;
+            }
+            if cycle.is_multiple_of(thermal_stride) {
+                for c in 0..n {
+                    thermal_watts[c] = params.watts(thermal_acc[c] / thermal_stride as f64);
+                    thermal_acc[c] = 0.0;
+                }
+                thermal.step(&thermal_watts);
+            }
+
+            // 5. Context/breakdown accounting.
+            let mut all_done = true;
+            for c in 0..n {
+                let done = cores[c].is_done();
+                all_done &= done;
+                if !done {
+                    let ctx = cores[c].current_ctx();
+                    ctx_cycles[c][ctx.state.bucket()] += 1;
+                    if ctx.spinning {
+                        spin_cycles[c] += 1;
+                        // "Power wasted while spinning" (Figure 4) is the
+                        // dynamic power above the idle floor — leakage is
+                        // paid whether or not the core spins.
+                        spin_tokens[c] += (tokens[c]
+                            - params.core_leakage * current_mode[c].leakage_scale())
+                        .max(0.0);
+                    }
+                }
+            }
+
+            // 6. Mechanism observes and sets next-cycle actions.
+            obs_buf.clear();
+            for c in 0..n {
+                obs_buf.push(CoreObs {
+                    tokens: tokens[c],
+                    ctx: cores[c].current_ctx(),
+                    done: cores[c].is_done(),
+                });
+            }
+            let obs = ChipObs {
+                cycle,
+                chip_tokens: chip,
+                uncore_tokens: uncore,
+                cores: &obs_buf,
+            };
+            mechanism.control(&obs, &budget, &mut actions);
+            for c in 0..n {
+                if actions[c].mode != current_mode[c] {
+                    transition[c] += DvfsMode::transition_cycles(current_mode[c], actions[c].mode);
+                    current_mode[c] = actions[c].mode;
+                }
+                cores[c].throttle = actions[c].throttle;
+            }
+
+            if all_done {
+                break;
+            }
+        }
+
+        // Assemble the report.
+        let core_reports: Vec<CoreReport> = (0..n)
+            .map(|c| CoreReport {
+                ctx_cycles: ctx_cycles[c],
+                spin_cycles: spin_cycles[c],
+                spin_tokens: spin_tokens[c],
+                tokens: energy.per_core[c],
+                committed: cores[c].stats.committed,
+                mispredict_rate: cores[c].stats.mispredict_rate(),
+                ptht_error: cores[c].ptht.relative_error(),
+            })
+            .collect();
+        Ok(RunReport {
+            benchmark: spec.name.clone(),
+            mechanism: mechanism.name(),
+            n_cores: n,
+            cycles: cycle,
+            budget,
+            energy_tokens: energy.total,
+            energy_joules: params.joules(energy.total),
+            aopb_tokens,
+            aopb_joules: params.joules(aopb_tokens),
+            mean_power: energy.mean_power(),
+            power_stddev: energy.power_stddev(),
+            cycles_over_budget: cycles_over,
+            max_temp_c: thermal.max_temp,
+            mean_temp_c: (0..n).map(|c| thermal.mean_temp(c)).sum::<f64>() / n as f64,
+            temp_stddev_c: thermal.mean_stddev(),
+            cores: core_reports,
+            trace,
+        })
+    }
+}

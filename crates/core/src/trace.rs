@@ -1,0 +1,89 @@
+//! Per-cycle power traces (paper Figures 5 and 6).
+
+use serde::{Deserialize, Serialize};
+
+/// A bounded per-cycle power trace.
+///
+/// Stores chip and per-core tokens as `f32` samples, taken every `stride`
+/// cycles, up to `capacity` samples (older samples are *not* evicted; the
+/// trace simply stops growing — figures use the run prefix).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PowerTrace {
+    /// Cycles between samples.
+    pub stride: u64,
+    /// Chip tokens per sample.
+    pub chip: Vec<f32>,
+    /// Per-core tokens per sample (`per_core[core][sample]`).
+    pub per_core: Vec<Vec<f32>>,
+    capacity: usize,
+    next_sample_at: u64,
+}
+
+impl PowerTrace {
+    /// Trace for `n_cores`, sampling every `stride` cycles, holding at
+    /// most `capacity` samples.
+    pub fn new(n_cores: usize, stride: u64, capacity: usize) -> Self {
+        assert!(stride >= 1);
+        PowerTrace {
+            stride,
+            chip: Vec::new(),
+            per_core: vec![Vec::new(); n_cores],
+            capacity,
+            next_sample_at: 0,
+        }
+    }
+
+    /// Record one cycle's sample if due.
+    pub fn record(&mut self, cycle: u64, chip_tokens: f64, core_tokens: &[f64]) {
+        if cycle < self.next_sample_at || self.chip.len() >= self.capacity {
+            return;
+        }
+        self.next_sample_at = cycle + self.stride;
+        self.chip.push(chip_tokens as f32);
+        for (buf, &t) in self.per_core.iter_mut().zip(core_tokens) {
+            buf.push(t as f32);
+        }
+    }
+
+    /// Number of samples captured.
+    pub fn len(&self) -> usize {
+        self.chip.len()
+    }
+
+    /// No samples yet?
+    pub fn is_empty(&self) -> bool {
+        self.chip.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_at_stride() {
+        let mut t = PowerTrace::new(2, 10, 100);
+        for cycle in 0..100 {
+            t.record(cycle, cycle as f64, &[1.0, 2.0]);
+        }
+        assert_eq!(t.len(), 10);
+        assert_eq!(t.chip[0], 0.0);
+        assert_eq!(t.chip[1], 10.0);
+        assert_eq!(t.per_core[1][3], 2.0);
+    }
+
+    #[test]
+    fn respects_capacity() {
+        let mut t = PowerTrace::new(1, 1, 5);
+        for cycle in 0..100 {
+            t.record(cycle, 1.0, &[1.0]);
+        }
+        assert_eq!(t.len(), 5);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = PowerTrace::new(1, 1, 5);
+        assert!(t.is_empty());
+    }
+}

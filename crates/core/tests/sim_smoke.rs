@@ -1,0 +1,208 @@
+//! End-to-end simulation tests: full stack (workload → cores → MOESI
+//! memory → power model → mechanism) on small inputs.
+
+use ptb_core::{MechanismKind, PtbPolicy, SimConfig, Simulation};
+use ptb_workloads::{Benchmark, Scale};
+
+fn cfg(n: usize, mech: MechanismKind) -> SimConfig {
+    SimConfig {
+        n_cores: n,
+        scale: Scale::Test,
+        mechanism: mech,
+        max_cycles: 20_000_000,
+        ..SimConfig::default()
+    }
+}
+
+#[test]
+fn baseline_fft_completes_with_sane_report() {
+    let r = Simulation::new(cfg(2, MechanismKind::None))
+        .run(Benchmark::Fft)
+        .expect("run");
+    assert!(r.cycles > 1000, "suspiciously short run: {}", r.cycles);
+    assert!(r.energy_tokens > 0.0);
+    assert!(r.mean_power > 0.0);
+    assert_eq!(r.n_cores, 2);
+    assert_eq!(r.cores.len(), 2);
+    for (i, c) in r.cores.iter().enumerate() {
+        assert!(
+            c.committed > 1000,
+            "core {i} committed only {}",
+            c.committed
+        );
+        assert!(c.tokens > 0.0);
+    }
+    // fft has barriers: some barrier time must be visible.
+    let frac = r.breakdown_frac();
+    assert!((frac.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    assert!(frac[3] > 0.0, "fft must spend time at barriers");
+    assert!(frac[0] > 0.5, "fft at 2 cores is mostly busy");
+}
+
+#[test]
+fn deterministic_runs() {
+    let run = || {
+        Simulation::new(cfg(2, MechanismKind::None))
+            .run(Benchmark::Radix)
+            .expect("run")
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.energy_tokens, b.energy_tokens);
+    assert_eq!(a.aopb_tokens, b.aopb_tokens);
+    assert_eq!(a.cores[0].committed, b.cores[0].committed);
+}
+
+#[test]
+fn lock_heavy_benchmark_shows_lock_time() {
+    let r = Simulation::new(cfg(4, MechanismKind::None))
+        .run(Benchmark::Unstructured)
+        .expect("run");
+    let frac = r.breakdown_frac();
+    assert!(
+        frac[1] > 0.01,
+        "unstructured at 4 cores must show lock-acquisition time, got {frac:?}"
+    );
+    // Spinning happened and burned some power.
+    assert!(r.spin_power_frac() > 0.0);
+}
+
+#[test]
+fn contention_free_benchmark_is_mostly_busy() {
+    let r = Simulation::new(cfg(4, MechanismKind::None))
+        .run(Benchmark::Blackscholes)
+        .expect("run");
+    let frac = r.breakdown_frac();
+    assert!(
+        frac[0] > 0.80,
+        "blackscholes should be mostly busy: {frac:?}"
+    );
+    assert!(
+        frac[1] < 0.05,
+        "blackscholes has no lock contention: {frac:?}"
+    );
+}
+
+#[test]
+fn baseline_exceeds_the_half_peak_budget() {
+    // The whole premise: without control, a busy chip spends a sizable
+    // fraction of its time over the 50% budget.
+    let r = Simulation::new(cfg(4, MechanismKind::None))
+        .run(Benchmark::Swaptions)
+        .expect("run");
+    assert!(
+        r.over_budget_frac() > 0.2,
+        "baseline should exceed the 50% budget regularly, got {:.3}",
+        r.over_budget_frac()
+    );
+    assert!(r.aopb_tokens > 0.0);
+}
+
+#[test]
+fn dvfs_reduces_aopb_and_slows_down() {
+    let base = Simulation::new(cfg(4, MechanismKind::None))
+        .run(Benchmark::Swaptions)
+        .expect("run");
+    let dvfs = Simulation::new(cfg(4, MechanismKind::Dvfs))
+        .run(Benchmark::Swaptions)
+        .expect("run");
+    assert!(dvfs.aopb_tokens < base.aopb_tokens, "DVFS must reduce AoPB");
+    assert!(
+        dvfs.cycles >= base.cycles,
+        "power capping cannot speed things up"
+    );
+    assert!(dvfs.energy_tokens < base.energy_tokens * 1.1);
+}
+
+#[test]
+fn ptb_matches_budget_better_than_dvfs() {
+    let mk = |m| {
+        Simulation::new(cfg(4, m))
+            .run(Benchmark::Barnes)
+            .expect("run")
+    };
+    let base = mk(MechanismKind::None);
+    let dvfs = mk(MechanismKind::Dvfs);
+    let ptb = mk(MechanismKind::PtbTwoLevel {
+        policy: PtbPolicy::ToAll,
+        relax: 0.0,
+    });
+    let norm = |r: &ptb_core::RunReport| r.aopb_tokens / base.aopb_tokens;
+    assert!(
+        norm(&ptb) < norm(&dvfs),
+        "PTB AoPB ({:.3}) must beat DVFS ({:.3})",
+        norm(&ptb),
+        norm(&dvfs)
+    );
+}
+
+#[test]
+fn two_level_clips_spikes_better_than_dvfs_alone() {
+    // Swaptions is sustained-busy, so the chip sits over the budget long
+    // enough for the windowed mechanisms to engage even at Test scale.
+    let mk = |m| {
+        Simulation::new(cfg(4, m))
+            .run(Benchmark::Swaptions)
+            .expect("run")
+    };
+    let base = mk(MechanismKind::None);
+    let dvfs = mk(MechanismKind::Dvfs);
+    let two = mk(MechanismKind::TwoLevel);
+    assert!(two.aopb_tokens < base.aopb_tokens);
+    assert!(
+        two.aopb_tokens <= dvfs.aopb_tokens * 1.05,
+        "2level ({}) should not be much worse than DVFS ({})",
+        two.aopb_tokens,
+        dvfs.aopb_tokens
+    );
+}
+
+#[test]
+fn trace_capture_produces_samples() {
+    let mut c = cfg(2, MechanismKind::None);
+    c.capture_trace = true;
+    let r = Simulation::new(c).run(Benchmark::Fft).expect("run");
+    let t = r.trace.expect("trace requested");
+    assert_eq!(t.len() as u64, r.cycles.min(4_000_000));
+    assert!(t.per_core.len() == 2);
+}
+
+#[test]
+fn wrong_thread_count_is_rejected() {
+    let spec = Benchmark::Fft.spec(3, Scale::Test);
+    let err = Simulation::new(cfg(2, MechanismKind::None))
+        .run_spec(&spec)
+        .unwrap_err();
+    assert!(matches!(err, ptb_core::sim::SimError::BadWorkload(_)));
+}
+
+#[test]
+fn max_cycles_limit_is_enforced() {
+    let mut c = cfg(2, MechanismKind::None);
+    c.max_cycles = 500; // far too few to finish
+    let err = Simulation::new(c).run(Benchmark::Fft).unwrap_err();
+    match err {
+        ptb_core::sim::SimError::MaxCyclesExceeded { limit, unfinished } => {
+            assert_eq!(limit, 500);
+            assert!(!unfinished.is_empty());
+        }
+        other => panic!("unexpected error: {other}"),
+    }
+}
+
+#[test]
+fn budget_fraction_changes_the_budget() {
+    let tight = SimConfig {
+        budget_frac: 0.4,
+        ..cfg(2, MechanismKind::None)
+    };
+    let loose = SimConfig {
+        budget_frac: 0.9,
+        ..cfg(2, MechanismKind::None)
+    };
+    let rt = Simulation::new(tight).run(Benchmark::X264).expect("run");
+    let rl = Simulation::new(loose).run(Benchmark::X264).expect("run");
+    assert!(rt.budget.global < rl.budget.global);
+    assert!(rt.aopb_tokens >= rl.aopb_tokens, "tighter budget cannot have less overage");
+}

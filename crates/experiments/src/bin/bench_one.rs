@@ -1,0 +1,65 @@
+//! Quick probe: run one benchmark at one core count under every
+//! mechanism and print the headline metrics (used for calibration and as
+//! a smoke check before long sweeps). Args: `bench_one [benchmark] [cores]`.
+
+use ptb_core::report::{normalized_aopb_pct, normalized_energy_pct, slowdown_pct};
+use ptb_core::{MechanismKind, PtbPolicy};
+use ptb_experiments::{Job, Runner};
+use ptb_workloads::Benchmark;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let bench = args
+        .get(1)
+        .and_then(|s| Benchmark::from_name(s))
+        .unwrap_or(Benchmark::Fft);
+    let cores = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(16);
+    let runner = Runner::from_env();
+    let t0 = std::time::Instant::now();
+    let base = runner.run_one(Job::new(bench, MechanismKind::None, cores));
+    let dt = t0.elapsed();
+    println!(
+        "{} {}c base: {} cycles, {} committed, {:.2}s wall, {:.2} Mcycles/s, mean power {:.0} (budget {:.0}), over-budget {:.0}%, spin-power {:.1}%",
+        bench,
+        cores,
+        base.cycles,
+        base.committed(),
+        dt.as_secs_f64(),
+        base.cycles as f64 / dt.as_secs_f64() / 1e6,
+        base.mean_power,
+        base.budget.global,
+        base.over_budget_frac() * 100.0,
+        base.spin_power_frac() * 100.0,
+    );
+    for mech in [
+        MechanismKind::Dvfs,
+        MechanismKind::Dfs,
+        MechanismKind::TwoLevel,
+        MechanismKind::PtbTwoLevel {
+            policy: PtbPolicy::ToAll,
+            relax: 0.0,
+        },
+        MechanismKind::PtbTwoLevel {
+            policy: PtbPolicy::ToOne,
+            relax: 0.0,
+        },
+        MechanismKind::PtbTwoLevel {
+            policy: PtbPolicy::Dynamic,
+            relax: 0.0,
+        },
+        MechanismKind::PtbTwoLevel {
+            policy: PtbPolicy::ToAll,
+            relax: 0.2,
+        },
+    ] {
+        let r = runner.run_one(Job::new(bench, mech, cores));
+        println!(
+            "  {:<24} energy {:+6.1}%  AoPB {:6.1}%  slowdown {:+6.1}%  stddev {:.0}",
+            mech.label(),
+            normalized_energy_pct(&base, &r),
+            normalized_aopb_pct(&base, &r),
+            slowdown_pct(&base, &r),
+            r.power_stddev,
+        );
+    }
+}

@@ -1,0 +1,143 @@
+//! **Extensions** — the paper's future-work and scalability proposals,
+//! implemented and measured:
+//!
+//! 1. *Spin gating* (§IV.C closing remark): use PTB's token meter as a
+//!    spin detector and park detected spinners on a deep throttle.
+//! 2. *Clustered balancers* (§III.E.2): replicate the balancer per group
+//!    of 16 cores to scale past the paper's 16-core evaluations.
+//! 3. *Temperature stability* (conclusions): the lumped-RC thermal model's
+//!    view of each mechanism.
+
+use ptb_core::report::{normalized_aopb_pct, normalized_energy_pct, slowdown_pct};
+use ptb_core::{MechanismKind, PtbPolicy, SimConfig, Simulation};
+use ptb_experiments::{emit, Job, Runner};
+use ptb_metrics::{mean, Table};
+use ptb_workloads::Benchmark;
+
+fn main() {
+    let runner = Runner::from_env();
+    let n = runner.default_cores();
+
+    // ---- 1. Spin gating on the contended benchmarks -------------------
+    let contended = [
+        Benchmark::Unstructured,
+        Benchmark::Fluidanimate,
+        Benchmark::Waternsq,
+        Benchmark::Barnes,
+    ];
+    let mut jobs = Vec::new();
+    for bench in contended {
+        jobs.push(Job::new(bench, MechanismKind::None, n));
+        jobs.push(Job::new(
+            bench,
+            MechanismKind::PtbTwoLevel {
+                policy: PtbPolicy::Dynamic,
+                relax: 0.0,
+            },
+            n,
+        ));
+        jobs.push(Job::new(
+            bench,
+            MechanismKind::PtbSpinGate {
+                policy: PtbPolicy::Dynamic,
+                relax: 0.0,
+            },
+            n,
+        ));
+    }
+    let reports = runner.run_all(&jobs);
+    let mut gate = Table::new(
+        format!("Extension: PTB spin gating ({n}-core, contended benchmarks)"),
+        &[
+            "bench",
+            "PTB energy%",
+            "gate energy%",
+            "PTB AoPB%",
+            "gate AoPB%",
+            "gate slowdown%",
+        ],
+    );
+    let mut cols = vec![Vec::new(); 5];
+    for (bi, bench) in contended.iter().enumerate() {
+        let base = &reports[bi * 3];
+        let ptb = &reports[bi * 3 + 1];
+        let g = &reports[bi * 3 + 2];
+        let vals = [
+            normalized_energy_pct(base, ptb),
+            normalized_energy_pct(base, g),
+            normalized_aopb_pct(base, ptb),
+            normalized_aopb_pct(base, g),
+            slowdown_pct(base, g),
+        ];
+        for (c, v) in cols.iter_mut().zip(vals) {
+            c.push(v);
+        }
+        gate.row_f(bench.name(), &vals, 1);
+    }
+    gate.row_f("Avg.", &cols.iter().map(|c| mean(c)).collect::<Vec<_>>(), 1);
+    emit(&runner, "ext_spin_gate", &gate);
+
+    // ---- 2. Clustered balancer at 32 cores ----------------------------
+    let bench = Benchmark::Watersp;
+    let mut cluster_table = Table::new(
+        "Extension: clustered balancers on a 32-core CMP (watersp)",
+        &["config", "energy%", "AoPB%", "slowdown%"],
+    );
+    let run32 = |cluster: Option<usize>, mech: MechanismKind| {
+        let mut cfg = SimConfig {
+            n_cores: 32,
+            scale: runner.scale,
+            mechanism: mech,
+            ..SimConfig::default()
+        };
+        cfg.ptb.cluster_size = cluster;
+        Simulation::new(cfg).run(bench).expect("32-core run")
+    };
+    let base32 = run32(None, MechanismKind::None);
+    for (label, cluster) in [
+        ("monolithic (14-cyc wires)", None),
+        ("2 x 16-core clusters", Some(16)),
+        ("4 x 8-core clusters", Some(8)),
+    ] {
+        let r = run32(
+            cluster,
+            MechanismKind::PtbTwoLevel {
+                policy: PtbPolicy::ToAll,
+                relax: 0.0,
+            },
+        );
+        cluster_table.row_f(
+            label,
+            &[
+                normalized_energy_pct(&base32, &r),
+                normalized_aopb_pct(&base32, &r),
+                slowdown_pct(&base32, &r),
+            ],
+            1,
+        );
+    }
+    emit(&runner, "ext_cluster32", &cluster_table);
+
+    // ---- 3. Temperature stability --------------------------------------
+    let mut temp = Table::new(
+        format!("Extension: temperature under each mechanism ({n}-core barnes, lumped-RC model)"),
+        &["mechanism", "mean degC", "max degC", "stddev degC"],
+    );
+    for mech in [
+        MechanismKind::None,
+        MechanismKind::Dvfs,
+        MechanismKind::TwoLevel,
+        MechanismKind::PtbTwoLevel {
+            policy: PtbPolicy::Dynamic,
+            relax: 0.0,
+        },
+    ] {
+        let r = runner.run_one(Job::new(Benchmark::Barnes, mech, n));
+        temp.row_f(
+            &r.mechanism.clone(),
+            &[r.mean_temp_c, r.max_temp_c, r.temp_stddev_c],
+            2,
+        );
+    }
+    emit(&runner, "ext_temperature", &temp);
+}

@@ -1,0 +1,87 @@
+//! **Figure 9** — Normalized energy (left) and AoPB (right) averaged over
+//! all benchmarks, for 2/4/8/16 cores and both PTB distribution policies
+//! (ToOne, ToAll), comparing DVFS, DFS, 2-level and PTB+2-level.
+//!
+//! Expected shape (paper): PTB+2level pulls the average AoPB down to
+//! ≈ 8–10 % at 16 cores (vs ≥ 65 % for DVFS/DFS) at ≈ +3 % energy, and
+//! accuracy improves with core count (more donors available).
+
+use ptb_core::report::{normalized_aopb_pct, normalized_energy_pct};
+use ptb_core::{MechanismKind, PtbPolicy};
+use ptb_experiments::{emit, Job, Runner};
+use ptb_metrics::{mean, Table};
+use ptb_workloads::Benchmark;
+
+const CORE_COUNTS: [usize; 4] = [2, 4, 8, 16];
+
+fn main() {
+    let runner = Runner::from_env();
+    let mechs = |policy: PtbPolicy| {
+        [
+            MechanismKind::Dvfs,
+            MechanismKind::Dfs,
+            MechanismKind::TwoLevel,
+            MechanismKind::PtbTwoLevel { policy, relax: 0.0 },
+        ]
+    };
+
+    // Jobs: per policy page, per core count, per benchmark, baseline + 4
+    // mechanisms. Baselines and non-PTB mechanisms are shared between the
+    // two pages; dedup via a simple cache keyed by (bench, mech, cores).
+    let mut jobs: Vec<Job> = Vec::new();
+    let push = |j: Job, jobs: &mut Vec<Job>| {
+        if !jobs.contains(&j) {
+            jobs.push(j);
+        }
+    };
+    for policy in [PtbPolicy::ToOne, PtbPolicy::ToAll] {
+        for n in CORE_COUNTS {
+            for bench in Benchmark::ALL {
+                push(Job::new(bench, MechanismKind::None, n), &mut jobs);
+                for m in mechs(policy) {
+                    push(Job::new(bench, m, n), &mut jobs);
+                }
+            }
+        }
+    }
+    let reports = runner.run_all(&jobs);
+    let find = |bench: Benchmark, mech: MechanismKind, n: usize| -> &ptb_core::RunReport {
+        let idx = jobs
+            .iter()
+            .position(|j| j.bench == bench && j.mech == mech && j.n_cores == n)
+            .expect("job exists");
+        &reports[idx]
+    };
+
+    let mut energy = Table::new(
+        "Figure 9 (left): normalized energy delta %, averaged over benchmarks",
+        &["config", "DVFS", "DFS", "2level", "PTB+2level"],
+    );
+    let mut aopb = Table::new(
+        "Figure 9 (right): normalized AoPB %, averaged over benchmarks",
+        &["config", "DVFS", "DFS", "2level", "PTB+2level"],
+    );
+    for policy in [PtbPolicy::ToOne, PtbPolicy::ToAll] {
+        for n in CORE_COUNTS {
+            let mut e_cols = Vec::new();
+            let mut a_cols = Vec::new();
+            for m in mechs(policy) {
+                let mut es = Vec::new();
+                let mut as_ = Vec::new();
+                for bench in Benchmark::ALL {
+                    let base = find(bench, MechanismKind::None, n);
+                    let r = find(bench, m, n);
+                    es.push(normalized_energy_pct(base, r));
+                    as_.push(normalized_aopb_pct(base, r));
+                }
+                e_cols.push(mean(&es));
+                a_cols.push(mean(&as_));
+            }
+            let label = format!("{n}Core_{}", policy.label());
+            energy.row_f(&label, &e_cols, 1);
+            aopb.row_f(&label, &a_cols, 1);
+        }
+    }
+    emit(&runner, "fig09_energy", &energy);
+    emit(&runner, "fig09_aopb", &aopb);
+}

@@ -1,0 +1,15 @@
+//! **Figure 10** — Per-benchmark normalized energy and AoPB for a 16-core
+//! CMP with the **ToAll** PTB policy (plus DVFS/DFS/2-level references).
+//!
+//! Expected shape (paper): PTB AoPB near 10 % on average (Barnes/Ocean
+//! drop from ~70 % under the naive split to a few percent); energy within
+//! a few percent of baseline, worse on heavily thread-dependent programs
+//! (unstructured).
+
+use ptb_core::PtbPolicy;
+use ptb_experiments::{detail_figure, Runner};
+
+fn main() {
+    let runner = Runner::from_env();
+    detail_figure(&runner, PtbPolicy::ToAll, 0.0, "fig10_toall", "Figure 10");
+}

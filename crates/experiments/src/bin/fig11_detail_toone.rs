@@ -1,0 +1,14 @@
+//! **Figure 11** — Per-benchmark normalized energy and AoPB for a 16-core
+//! CMP with the **ToOne** PTB policy.
+//!
+//! Expected shape (paper): slightly worse than ToAll on average, but
+//! better on lock-bound, imbalanced programs (unstructured, waternsq)
+//! where giving all spare power to the critical-section owner helps most.
+
+use ptb_core::PtbPolicy;
+use ptb_experiments::{detail_figure, Runner};
+
+fn main() {
+    let runner = Runner::from_env();
+    detail_figure(&runner, PtbPolicy::ToOne, 0.0, "fig11_toone", "Figure 11");
+}

@@ -1,0 +1,21 @@
+//! **Figure 12** — Per-benchmark normalized energy and AoPB for a 16-core
+//! CMP with the **dynamic policy selector** (§IV.B): ToOne while spinning
+//! is lock-spinning, ToAll while it is barrier-spinning.
+//!
+//! Expected shape (paper): the best of both static policies — energy ≈
+//! +2 % (1 % better than static ToAll, 3 % better than static ToOne) and
+//! the lowest AoPB.
+
+use ptb_core::PtbPolicy;
+use ptb_experiments::{detail_figure, Runner};
+
+fn main() {
+    let runner = Runner::from_env();
+    detail_figure(
+        &runner,
+        PtbPolicy::Dynamic,
+        0.0,
+        "fig12_dynamic",
+        "Figure 12",
+    );
+}

@@ -1,0 +1,26 @@
+//! **Figure 13** — Per-benchmark performance slowdown for a 16-core CMP
+//! with the dynamic policy selector (plus DVFS/DFS/2-level references).
+//!
+//! Expected shape (paper): PTB within ~2 % of DVFS on average;
+//! unstructured is the benchmark most hurt by the micro-architectural
+//! mechanisms.
+
+use ptb_core::PtbPolicy;
+use ptb_experiments::{detail_figure, emit, slowdown_table, Runner};
+
+fn main() {
+    let runner = Runner::from_env();
+    let (jobs, reports) = detail_figure(
+        &runner,
+        PtbPolicy::Dynamic,
+        0.0,
+        "fig13_detail",
+        "Figure 13 companion",
+    );
+    let table = slowdown_table(
+        &jobs,
+        &reports,
+        "Figure 13: performance slowdown %, 16-core, dynamic policy selector",
+    );
+    emit(&runner, "fig13_performance", &table);
+}

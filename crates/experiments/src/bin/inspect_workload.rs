@@ -1,0 +1,69 @@
+//! Workload inspector: print the structure and dynamic statistics of one
+//! benchmark model at a given thread count — the at-a-glance view of what
+//! each Table 2 substitute actually executes. Args:
+//! `inspect_workload [benchmark] [threads]`.
+
+use ptb_experiments::{emit, Runner};
+use ptb_metrics::Table;
+use ptb_workloads::{Benchmark, FlatStmt};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let runner = Runner::from_env();
+    let benches: Vec<Benchmark> = match args.get(1).map(|s| s.as_str()) {
+        Some(name) => vec![Benchmark::from_name(name).expect("unknown benchmark")],
+        None => Benchmark::ALL.to_vec(),
+    };
+    let threads = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(16);
+
+    let mut table = Table::new(
+        format!(
+            "Workload inventory ({threads} threads, scale {:?})",
+            runner.scale
+        ),
+        &[
+            "bench",
+            "lock-kind",
+            "compute/thr",
+            "locks/thr",
+            "barriers/thr",
+            "distinct-locks",
+            "footprint-KiB",
+        ],
+    );
+    for bench in benches {
+        let spec = bench.spec(threads, runner.scale);
+        let prog = &spec.programs[0];
+        let locks = prog
+            .iter()
+            .filter(|s| matches!(s, FlatStmt::Lock(_)))
+            .count();
+        let barriers = prog
+            .iter()
+            .filter(|s| matches!(s, FlatStmt::Barrier(_)))
+            .count();
+        let distinct: std::collections::HashSet<_> = prog
+            .iter()
+            .filter_map(|s| match s {
+                FlatStmt::Lock(l) => Some(*l),
+                _ => None,
+            })
+            .collect();
+        let footprint = spec
+            .profiles
+            .iter()
+            .map(|p| p.mem.shared_footprint)
+            .max()
+            .unwrap_or(0);
+        table.row(vec![
+            bench.name().to_string(),
+            format!("{:?}", spec.lock_kind),
+            (spec.total_compute() / threads as u64).to_string(),
+            locks.to_string(),
+            barriers.to_string(),
+            distinct.len().to_string(),
+            (footprint >> 10).to_string(),
+        ]);
+    }
+    emit(&runner, "workload_inventory", &table);
+}

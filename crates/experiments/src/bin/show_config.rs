@@ -1,0 +1,138 @@
+//! **Tables 1 & 2** — print the simulated CMP configuration and the
+//! benchmark roster, as configured in this reproduction.
+
+use ptb_core::budget::BudgetSpec;
+use ptb_core::SimConfig;
+use ptb_experiments::{emit, Runner};
+use ptb_metrics::Table;
+use ptb_workloads::{Benchmark, Scale};
+
+fn main() {
+    let runner = Runner::from_env();
+    let cfg = SimConfig::default();
+
+    let mut t1 = Table::new(
+        "Table 1: simulated CMP configuration",
+        &["parameter", "value"],
+    );
+    let kv = |t: &mut Table, k: &str, v: String| {
+        t.row(vec![k.to_string(), v]);
+    };
+    kv(
+        &mut t1,
+        "Frequency",
+        format!("{:.0} MHz", cfg.power.freq_hz / 1e6),
+    );
+    kv(
+        &mut t1,
+        "Instruction window (ROB)",
+        format!("{} entries", cfg.core.rob_size),
+    );
+    kv(
+        &mut t1,
+        "Load/store queue",
+        format!("{} entries", cfg.core.lsq_size),
+    );
+    kv(
+        &mut t1,
+        "Decode width",
+        format!("{} inst/cycle", cfg.core.decode_width),
+    );
+    kv(
+        &mut t1,
+        "Issue width",
+        format!("{} inst/cycle", cfg.core.issue_width),
+    );
+    kv(
+        &mut t1,
+        "Functional units",
+        format!(
+            "{} IntAlu; {} IntMult; {} FP Alu; {} FP Mult",
+            cfg.core.int_alu, cfg.core.int_mul, cfg.core.fp_alu, cfg.core.fp_mul
+        ),
+    );
+    kv(
+        &mut t1,
+        "Front-end depth",
+        format!("{} stages modelled", cfg.core.frontend_depth),
+    );
+    kv(
+        &mut t1,
+        "Branch predictor",
+        "gshare, 16-bit history, 64KB".into(),
+    );
+    kv(
+        &mut t1,
+        "Coherence protocol",
+        "MOESI (blocking directory)".into(),
+    );
+    kv(
+        &mut t1,
+        "Memory latency",
+        format!("{} cycles", cfg.mem.mem_latency),
+    );
+    kv(&mut t1, "L1 I/D cache", "64KB, 2-way, 1 cycle".into());
+    kv(&mut t1, "L2 cache", "1MB/core, 4-way, 12 cycles".into());
+    kv(&mut t1, "Topology", "2D mesh".into());
+    kv(&mut t1, "Link latency", "4 cycles".into());
+    kv(&mut t1, "Flit size", "4 bytes".into());
+    kv(&mut t1, "Link bandwidth", "1 flit/cycle".into());
+    let budget = BudgetSpec::new(&cfg.power, &cfg.core, 16, 0.5);
+    kv(
+        &mut t1,
+        "Peak chip power (16c)",
+        format!(
+            "{:.0} tokens/cycle ({:.1} W)",
+            budget.peak_chip,
+            cfg.power.watts(budget.peak_chip)
+        ),
+    );
+    kv(
+        &mut t1,
+        "Global budget (50%)",
+        format!(
+            "{:.0} tokens/cycle ({:.1} W)",
+            budget.global,
+            cfg.power.watts(budget.global)
+        ),
+    );
+    emit(&runner, "table1_config", &t1);
+
+    let mut t2 = Table::new(
+        "Table 2: benchmarks and modelled working sets",
+        &[
+            "benchmark",
+            "suite",
+            "compute insts/thread (Small)",
+            "lock sites",
+            "barriers",
+        ],
+    );
+    for bench in Benchmark::ALL {
+        let spec = bench.spec(16, Scale::Small);
+        let suite = match bench {
+            Benchmark::Blackscholes
+            | Benchmark::Fluidanimate
+            | Benchmark::Swaptions
+            | Benchmark::X264 => "PARSEC",
+            _ => "SPLASH-2",
+        };
+        let prog = &spec.programs[0];
+        let locks = prog
+            .iter()
+            .filter(|s| matches!(s, ptb_workloads::FlatStmt::Lock(_)))
+            .count();
+        let barriers = prog
+            .iter()
+            .filter(|s| matches!(s, ptb_workloads::FlatStmt::Barrier(_)))
+            .count();
+        t2.row(vec![
+            bench.name().to_string(),
+            suite.to_string(),
+            format!("{}", spec.total_compute() / spec.n_threads() as u64),
+            locks.to_string(),
+            barriers.to_string(),
+        ]);
+    }
+    emit(&runner, "table2_benchmarks", &t2);
+}

@@ -1,0 +1,131 @@
+//! # ptb-experiments — figure/table regeneration harness
+//!
+//! One binary per paper artefact (see `DESIGN.md` §4 for the index). All
+//! binaries share this library: a thread-parallel sweep [`Runner`] that
+//! executes independent simulations across worker threads, plus output
+//! helpers that print the paper's rows/series as aligned text and drop a
+//! CSV next to it.
+//!
+//! Environment knobs (all optional):
+//! * `PTB_SCALE` — `test` | `small` (default) | `large`;
+//! * `PTB_JOBS` — worker threads (default: available parallelism);
+//! * `PTB_OUT` — output directory for `.txt`/`.csv` artefacts
+//!   (default `target/figures`);
+//! * `PTB_CORES` — override the core count of single-core-count figures.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod runner;
+
+pub use runner::{emit, Job, Runner};
+
+use ptb_core::report::{normalized_aopb_pct, normalized_energy_pct, slowdown_pct};
+use ptb_core::{MechanismKind, PtbPolicy};
+use ptb_metrics::{mean, Table};
+use ptb_workloads::Benchmark;
+
+/// The paper's evaluated mechanism set for 16-core detail figures.
+pub fn detail_mechanisms(ptb: MechanismKind) -> Vec<MechanismKind> {
+    vec![
+        MechanismKind::Dvfs,
+        MechanismKind::Dfs,
+        MechanismKind::TwoLevel,
+        ptb,
+    ]
+}
+
+/// Shared harness for Figures 10/11/12: per-benchmark normalized energy
+/// and AoPB at the default core count for DVFS/DFS/2-level/PTB with the
+/// given policy (and, for Figure 13, per-benchmark slowdown).
+///
+/// Emits `<stem>_energy`, `<stem>_aopb` and returns the reports for any
+/// extra processing.
+pub fn detail_figure(
+    runner: &Runner,
+    policy: PtbPolicy,
+    relax: f64,
+    stem: &str,
+    figure_label: &str,
+) -> (Vec<Job>, Vec<ptb_core::RunReport>) {
+    let n = runner.default_cores();
+    let ptb = MechanismKind::PtbTwoLevel { policy, relax };
+    let mechs = detail_mechanisms(ptb);
+    let mut jobs = Vec::new();
+    for bench in Benchmark::ALL {
+        jobs.push(Job::new(bench, MechanismKind::None, n));
+        for &m in &mechs {
+            jobs.push(Job::new(bench, m, n));
+        }
+    }
+    let reports = runner.run_all(&jobs);
+    let stride = 1 + mechs.len();
+
+    let headers = ["bench", "DVFS", "DFS", "2level", "PTB+2level"];
+    let mut energy = Table::new(
+        format!(
+            "{figure_label} (left): normalized energy delta %, {n}-core, {}",
+            policy.label()
+        ),
+        &headers,
+    );
+    let mut aopb = Table::new(
+        format!(
+            "{figure_label} (right): normalized AoPB %, {n}-core, {}",
+            policy.label()
+        ),
+        &headers,
+    );
+    let mut e_cols = vec![Vec::new(); mechs.len()];
+    let mut a_cols = vec![Vec::new(); mechs.len()];
+    for (bi, bench) in Benchmark::ALL.iter().enumerate() {
+        let base = &reports[bi * stride];
+        let mut es = Vec::new();
+        let mut as_ = Vec::new();
+        for mi in 0..mechs.len() {
+            let r = &reports[bi * stride + 1 + mi];
+            let e = normalized_energy_pct(base, r);
+            let a = normalized_aopb_pct(base, r);
+            es.push(e);
+            as_.push(a);
+            e_cols[mi].push(e);
+            a_cols[mi].push(a);
+        }
+        energy.row_f(bench.name(), &es, 1);
+        aopb.row_f(bench.name(), &as_, 1);
+    }
+    energy.row_f(
+        "Avg.",
+        &e_cols.iter().map(|c| mean(c)).collect::<Vec<_>>(),
+        1,
+    );
+    aopb.row_f(
+        "Avg.",
+        &a_cols.iter().map(|c| mean(c)).collect::<Vec<_>>(),
+        1,
+    );
+    emit(runner, &format!("{stem}_energy"), &energy);
+    emit(runner, &format!("{stem}_aopb"), &aopb);
+    (jobs, reports)
+}
+
+/// Figure 13 companion: per-benchmark performance slowdown table from the
+/// reports produced by [`detail_figure`].
+pub fn slowdown_table(jobs: &[Job], reports: &[ptb_core::RunReport], title: &str) -> Table {
+    let mechs_per_bench = 5; // baseline + 4 mechanisms
+    let mut table = Table::new(title, &["bench", "DVFS", "DFS", "2level", "PTB+2level"]);
+    let mut cols = vec![Vec::new(); 4];
+    for (bi, bench) in Benchmark::ALL.iter().enumerate() {
+        let base = &reports[bi * mechs_per_bench];
+        debug_assert_eq!(jobs[bi * mechs_per_bench].bench, *bench);
+        let mut vals = Vec::new();
+        for mi in 0..4 {
+            let s = slowdown_pct(base, &reports[bi * mechs_per_bench + 1 + mi]);
+            vals.push(s);
+            cols[mi].push(s);
+        }
+        table.row_f(bench.name(), &vals, 1);
+    }
+    table.row_f("Avg.", &cols.iter().map(|c| mean(c)).collect::<Vec<_>>(), 1);
+    table
+}

@@ -1,0 +1,193 @@
+//! Parallel sweep execution and artefact emission.
+
+use parking_lot::Mutex;
+use ptb_core::{MechanismKind, RunReport, SimConfig, Simulation};
+use ptb_metrics::Table;
+use ptb_workloads::{Benchmark, Scale};
+use std::collections::VecDeque;
+use std::path::PathBuf;
+
+/// One simulation to run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Job {
+    /// Benchmark.
+    pub bench: Benchmark,
+    /// Mechanism.
+    pub mech: MechanismKind,
+    /// Core count.
+    pub n_cores: usize,
+    /// Capture a power trace?
+    pub trace: bool,
+}
+
+impl Job {
+    /// A plain job with no trace.
+    pub fn new(bench: Benchmark, mech: MechanismKind, n_cores: usize) -> Self {
+        Job {
+            bench,
+            mech,
+            n_cores,
+            trace: false,
+        }
+    }
+}
+
+/// Thread-parallel simulation sweep runner.
+pub struct Runner {
+    /// Workload scale.
+    pub scale: Scale,
+    /// Worker threads.
+    pub jobs: usize,
+    /// Artefact output directory.
+    pub out_dir: PathBuf,
+}
+
+impl Runner {
+    /// Configure from the environment (see crate docs).
+    pub fn from_env() -> Self {
+        let scale = match std::env::var("PTB_SCALE").as_deref() {
+            Ok("test") => Scale::Test,
+            Ok("large") => Scale::Large,
+            _ => Scale::Small,
+        };
+        let jobs = std::env::var("PTB_JOBS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|p| p.get())
+                    .unwrap_or(4)
+            });
+        let out_dir = std::env::var("PTB_OUT")
+            .map(PathBuf::from)
+            .unwrap_or_else(|_| PathBuf::from("target/figures"));
+        Runner {
+            scale,
+            jobs,
+            out_dir,
+        }
+    }
+
+    /// Core count for single-core-count figures (paper: 16), overridable
+    /// with `PTB_CORES`.
+    pub fn default_cores(&self) -> usize {
+        std::env::var("PTB_CORES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(16)
+    }
+
+    fn config(&self, job: &Job) -> SimConfig {
+        SimConfig {
+            n_cores: job.n_cores,
+            scale: self.scale,
+            mechanism: job.mech,
+            capture_trace: job.trace,
+            ..SimConfig::default()
+        }
+    }
+
+    /// Run one job synchronously.
+    pub fn run_one(&self, job: Job) -> RunReport {
+        Simulation::new(self.config(&job))
+            .run(job.bench)
+            .unwrap_or_else(|e| {
+                panic!(
+                    "{} / {} / {} cores failed: {e}",
+                    job.bench,
+                    job.mech.label(),
+                    job.n_cores
+                )
+            })
+    }
+
+    /// Run all jobs across worker threads; results come back in job order.
+    pub fn run_all(&self, jobs: &[Job]) -> Vec<RunReport> {
+        if jobs.is_empty() {
+            return Vec::new();
+        }
+        let queue: Mutex<VecDeque<usize>> = Mutex::new((0..jobs.len()).collect());
+        let results: Mutex<Vec<Option<RunReport>>> = Mutex::new(vec![None; jobs.len()]);
+        let n_workers = self.jobs.min(jobs.len()).max(1);
+        crossbeam::scope(|s| {
+            for _ in 0..n_workers {
+                s.spawn(|_| loop {
+                    let Some(idx) = queue.lock().pop_front() else {
+                        break;
+                    };
+                    let report = self.run_one(jobs[idx]);
+                    results.lock()[idx] = Some(report);
+                });
+            }
+        })
+        .expect("worker panicked");
+        results
+            .into_inner()
+            .into_iter()
+            .map(|r| r.expect("job completed"))
+            .collect()
+    }
+}
+
+// `RunReport` contains no interior mutability and Simulation is
+// constructed per job, so sharing &Runner across the scope is safe by
+// construction (everything is Sync).
+
+/// Print a table and write `.txt` + `.csv` artefacts into the runner's
+/// output directory.
+pub fn emit(runner: &Runner, name: &str, table: &Table) {
+    let text = table.to_text();
+    println!("{text}");
+    if let Err(e) = std::fs::create_dir_all(&runner.out_dir) {
+        eprintln!("warning: cannot create {}: {e}", runner.out_dir.display());
+        return;
+    }
+    let txt_path = runner.out_dir.join(format!("{name}.txt"));
+    let csv_path = runner.out_dir.join(format!("{name}.csv"));
+    if let Err(e) = std::fs::write(&txt_path, &text) {
+        eprintln!("warning: cannot write {}: {e}", txt_path.display());
+    }
+    if let Err(e) = std::fs::write(&csv_path, table.to_csv()) {
+        eprintln!("warning: cannot write {}: {e}", csv_path.display());
+    }
+    println!("[wrote {} and {}]", txt_path.display(), csv_path.display());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_runner() -> Runner {
+        Runner {
+            scale: Scale::Test,
+            jobs: 4,
+            out_dir: std::env::temp_dir().join("ptb-figtest"),
+        }
+    }
+
+    #[test]
+    fn parallel_results_match_serial() {
+        let r = test_runner();
+        let jobs = vec![
+            Job::new(Benchmark::Fft, MechanismKind::None, 2),
+            Job::new(Benchmark::Radix, MechanismKind::None, 2),
+            Job::new(Benchmark::Fft, MechanismKind::Dvfs, 2),
+        ];
+        let parallel = r.run_all(&jobs);
+        for (job, rep) in jobs.iter().zip(&parallel) {
+            let serial = r.run_one(*job);
+            assert_eq!(serial.cycles, rep.cycles, "{:?}", job);
+            assert_eq!(serial.energy_tokens, rep.energy_tokens);
+        }
+    }
+
+    #[test]
+    fn emit_writes_artifacts() {
+        let r = test_runner();
+        let mut t = Table::new("t", &["a"]);
+        t.row(vec!["1".into()]);
+        emit(&r, "unit_test_table", &t);
+        assert!(r.out_dir.join("unit_test_table.txt").exists());
+        assert!(r.out_dir.join("unit_test_table.csv").exists());
+    }
+}

@@ -1,0 +1,153 @@
+//! Physical addresses and the simulated address-space layout.
+//!
+//! The simulator uses a single flat physical address space. Workload models
+//! carve it into conventional regions so that cache behaviour is meaningful:
+//! per-thread private segments (stack/locals), a shared data region (the
+//! benchmark's working set) and a synchronisation region in which every lock
+//! or barrier word occupies its own cache line (no false sharing between
+//! synchronisation variables, matching how SPLASH-2 pads its locks).
+
+use serde::{Deserialize, Serialize};
+
+/// Cache-line size in bytes, fixed at 64 B as in the paper's configuration.
+pub const CACHE_LINE_BYTES: u64 = 64;
+
+/// A physical byte address in the simulated machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Addr(pub u64);
+
+impl Addr {
+    /// The address of the first byte of the cache line containing `self`.
+    #[inline]
+    pub fn line(self) -> Addr {
+        Addr(self.0 & !(CACHE_LINE_BYTES - 1))
+    }
+
+    /// Line number (address divided by the line size).
+    #[inline]
+    pub fn line_index(self) -> u64 {
+        self.0 / CACHE_LINE_BYTES
+    }
+
+    /// Byte offset within the cache line.
+    #[inline]
+    pub fn line_offset(self) -> u64 {
+        self.0 % CACHE_LINE_BYTES
+    }
+
+    /// Add a byte offset, wrapping on overflow (addresses are synthetic).
+    #[inline]
+    pub fn offset(self, bytes: u64) -> Addr {
+        Addr(self.0.wrapping_add(bytes))
+    }
+}
+
+impl std::fmt::Display for Addr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:#012x}", self.0)
+    }
+}
+
+/// Conventional layout of the simulated address space.
+///
+/// All constants are line-aligned. The regions are far apart so a workload
+/// bug cannot silently alias synchronisation lines with data lines.
+pub mod layout {
+    use super::{Addr, CACHE_LINE_BYTES};
+
+    /// Base of the shared-data region (the benchmark working set).
+    pub const SHARED_BASE: Addr = Addr(0x1000_0000);
+    /// Base of the per-thread private regions.
+    pub const PRIVATE_BASE: Addr = Addr(0x4000_0000);
+    /// Size reserved for each thread's private region (16 MiB).
+    pub const PRIVATE_STRIDE: u64 = 16 << 20;
+    /// Base of the synchronisation-variable region.
+    pub const SYNC_BASE: Addr = Addr(0x8000_0000);
+    /// Locks and barriers each get one line; barriers start at this offset
+    /// (so up to `BARRIER_REGION_OFFSET / 64` locks are addressable).
+    pub const BARRIER_REGION_OFFSET: u64 = 1 << 20;
+
+    /// Base address of thread `tid`'s private region.
+    #[inline]
+    pub fn private_base(tid: usize) -> Addr {
+        Addr(PRIVATE_BASE.0 + tid as u64 * PRIVATE_STRIDE)
+    }
+
+    /// Address of the line holding lock `id`. Each lock owns **two**
+    /// consecutive lines: word 0 of the first line is the lock/ticket
+    /// word; ticket locks keep their now-serving word on the second line
+    /// (no false sharing between arrivals and releases).
+    #[inline]
+    pub fn lock_addr(id: usize) -> Addr {
+        Addr(SYNC_BASE.0 + id as u64 * 2 * CACHE_LINE_BYTES)
+    }
+
+    /// Address of the line holding barrier `id`'s arrival counter.
+    /// The barrier's sense/generation word lives on the *next* line.
+    #[inline]
+    pub fn barrier_counter_addr(id: usize) -> Addr {
+        Addr(SYNC_BASE.0 + BARRIER_REGION_OFFSET + id as u64 * 2 * CACHE_LINE_BYTES)
+    }
+
+    /// Address of the line holding barrier `id`'s generation (sense) word.
+    #[inline]
+    pub fn barrier_sense_addr(id: usize) -> Addr {
+        barrier_counter_addr(id).offset(CACHE_LINE_BYTES)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_alignment() {
+        let a = Addr(0x1234);
+        assert_eq!(a.line(), Addr(0x1200));
+        assert_eq!(a.line_offset(), 0x34);
+        assert_eq!(a.line_index(), 0x1234 / 64);
+    }
+
+    #[test]
+    fn line_of_aligned_address_is_identity() {
+        let a = Addr(0x40);
+        assert_eq!(a.line(), a);
+        assert_eq!(a.line_offset(), 0);
+    }
+
+    #[test]
+    fn sync_variables_do_not_share_lines() {
+        let l0 = layout::lock_addr(0);
+        let l1 = layout::lock_addr(1);
+        assert_ne!(l0.line(), l1.line());
+        let b0c = layout::barrier_counter_addr(0);
+        let b0s = layout::barrier_sense_addr(0);
+        let b1c = layout::barrier_counter_addr(1);
+        assert_ne!(b0c.line(), b0s.line());
+        assert_ne!(b0s.line(), b1c.line());
+    }
+
+    #[test]
+    fn private_regions_are_disjoint() {
+        let p0 = layout::private_base(0);
+        let p1 = layout::private_base(1);
+        assert!(p1.0 - p0.0 >= layout::PRIVATE_STRIDE);
+        // Private regions never overlap the shared region for sane thread
+        // counts.
+        assert!(p0.0 > layout::SHARED_BASE.0);
+    }
+
+    #[test]
+    fn lock_region_does_not_reach_barrier_region() {
+        // The largest lock id used by any workload must stay below the
+        // barrier region.
+        let max_locks = (layout::BARRIER_REGION_OFFSET / (2 * CACHE_LINE_BYTES)) as usize;
+        let last = layout::lock_addr(max_locks - 1);
+        assert!(last.0 < layout::barrier_counter_addr(0).0);
+    }
+
+    #[test]
+    fn display_formats_hex() {
+        assert_eq!(format!("{}", Addr(0x40)), "0x0000000040");
+    }
+}

@@ -1,0 +1,76 @@
+//! Strongly-typed identifiers used across the simulator.
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! id_newtype {
+    ($(#[$meta:meta])* $name:ident) => {
+        $(#[$meta])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+        )]
+        pub struct $name(pub usize);
+
+        impl $name {
+            /// The raw index value.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0
+            }
+        }
+
+        impl From<usize> for $name {
+            #[inline]
+            fn from(v: usize) -> Self {
+                Self(v)
+            }
+        }
+
+        impl std::fmt::Display for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, "{}{}", stringify!($name), self.0)
+            }
+        }
+    };
+}
+
+id_newtype!(
+    /// A physical core in the CMP (0-based, row-major in the mesh).
+    CoreId
+);
+id_newtype!(
+    /// A software thread. The simulator pins thread *i* to core *i*
+    /// (one thread per core, as in the paper's experiments).
+    ThreadId
+);
+id_newtype!(
+    /// A spinlock variable.
+    LockId
+);
+id_newtype!(
+    /// A barrier variable.
+    BarrierId
+);
+
+/// Correlation token for an in-flight atomic read-modify-write.
+///
+/// The workload stream attaches a token when it emits an [`crate::OpKind::AtomicRmw`]
+/// instruction; the core echoes the token back together with the old value
+/// when the RMW executes, letting the stream decide how to continue (e.g.
+/// whether a test-and-set acquired the lock).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RmwToken(pub u64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_roundtrip_and_display() {
+        let c = CoreId::from(3);
+        assert_eq!(c.index(), 3);
+        assert_eq!(format!("{c}"), "CoreId3");
+        assert_eq!(ThreadId(1), ThreadId::from(1));
+        assert!(LockId(0) < LockId(1));
+        assert_ne!(BarrierId(2), BarrierId(3));
+    }
+}

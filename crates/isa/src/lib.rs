@@ -1,0 +1,41 @@
+//! # ptb-isa — micro-ISA for the PTB CMP simulator
+//!
+//! This crate defines the *vocabulary* shared by every layer of the
+//! simulator that reproduces Cebrián, Aragón & Kaxiras, *“Power Token
+//! Balancing: Adapting CMPs to Power Constraints for Parallel Multithreaded
+//! Workloads”* (IPDPS 2011):
+//!
+//! * [`DynInst`] — a dynamic instruction as seen by the out-of-order core:
+//!   operation kind, register dependences (expressed as distances to older
+//!   instructions, the standard trace-driven encoding), optional memory
+//!   reference, branch outcome and atomic read-modify-write payload.
+//! * [`InstStream`] — the interface through which a *workload model* feeds
+//!   instructions to a core. Synchronisation (locks/barriers) is resolved
+//!   through this interface: spin loops are emitted one iteration at a time
+//!   and atomic RMWs block the stream until the core reports the executed
+//!   old value, so mutual exclusion is decided by the *timing* model, not by
+//!   the workload generator.
+//! * [`ExecCtx`] — the execution-context tag (busy / lock-acquire /
+//!   lock-release / barrier, spinning or not) used to reproduce the paper's
+//!   Figure 3 execution-time breakdown and Figure 4 spin-power analysis.
+//! * [`BlockGen`] — a seeded generator of synthetic compute blocks with a
+//!   configurable instruction mix, memory-access pattern and
+//!   branch-predictability profile.
+//!
+//! The crate is deliberately free of micro-architecture, memory-system and
+//! power policy: those live in `ptb-uarch`, `ptb-mem` and `ptb-power`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod addr;
+pub mod ids;
+pub mod inst;
+pub mod mix;
+pub mod stream;
+
+pub use addr::{Addr, CACHE_LINE_BYTES};
+pub use ids::{BarrierId, CoreId, LockId, RmwToken, ThreadId};
+pub use inst::{BranchInfo, CtxState, DynInst, ExecCtx, MemRef, OpKind, RmwOp, RmwRequest};
+pub use mix::{BlockGen, BlockGenConfig, InstMix, MemPattern};
+pub use stream::{Fetch, InstStream, StreamEnv};

@@ -1,0 +1,279 @@
+//! The instruction-stream interface between workload models and cores.
+//!
+//! A workload model implements [`InstStream`]; a core pulls instructions
+//! from it during fetch. Three properties make the interface faithful to an
+//! execution-driven simulation despite being trace-shaped:
+//!
+//! 1. **Atomic RMWs are split-phase.** The stream emits an
+//!    [`crate::OpKind::AtomicRmw`] and returns [`Fetch::Stall`] until the
+//!    core echoes the executed old value via [`InstStream::rmw_result`].
+//!    Whether a test-and-set wins a lock is therefore decided by the timing
+//!    model (whoever's RMW reaches the coherence point first), not by the
+//!    generator.
+//! 2. **Spin polls read live values.** Test-and-test-and-set loops and
+//!    barrier waits consult the functional value of the synchronisation word
+//!    through [`StreamEnv::read_sync_word`] each iteration, so a spin ends
+//!    on the first iteration after the releasing core's RMW executes.
+//! 3. **Squash-and-replay.** Fetched instructions may later be squashed by
+//!    a branch-mispredict flush; the core asks the stream to rewind via
+//!    [`InstStream::rewind`] with the number of squashed instructions.
+//!    Streams must therefore be able to replay recent history; helper
+//!    [`ReplayBuffer`] implements this for any generator.
+
+use crate::inst::DynInst;
+use crate::{Addr, RmwToken};
+use std::collections::VecDeque;
+
+/// Result of asking a stream for its next instruction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Fetch {
+    /// An instruction to fetch this cycle.
+    Inst(DynInst),
+    /// The thread has no instruction available (waiting on an RMW result).
+    Stall,
+    /// The thread has finished its program.
+    Done,
+}
+
+/// Facilities the simulator provides to a stream at generation time.
+pub trait StreamEnv {
+    /// Functional value of a synchronisation word (lock/barrier line).
+    ///
+    /// Only the synchronisation region is functionally modelled; data values
+    /// are synthetic and never read.
+    fn read_sync_word(&self, addr: Addr) -> u64;
+
+    /// Current global cycle (for workload-side timekeeping/telemetry).
+    fn now(&self) -> u64;
+}
+
+/// A source of dynamic instructions for one hardware thread.
+pub trait InstStream {
+    /// Produce the next instruction, or report a stall / completion.
+    fn next(&mut self, env: &mut dyn StreamEnv) -> Fetch;
+
+    /// Deliver the old value of an atomic RMW previously emitted with
+    /// `token`. Called by the core when the RMW executes.
+    fn rmw_result(&mut self, token: RmwToken, old: u64);
+
+    /// Squash the last `n` instructions returned by [`InstStream::next`]
+    /// (they were fetched down a wrong path or flushed); the stream must
+    /// replay them on subsequent calls.
+    fn rewind(&mut self, n: usize);
+}
+
+/// Wraps a non-replayable generator closure into a replayable stream.
+///
+/// Most workload models generate instructions on the fly and cannot cheaply
+/// rewind; `ReplayBuffer` keeps the tail of generated instructions and
+/// replays them after [`InstStream::rewind`].
+pub struct ReplayBuffer {
+    /// Instructions handed out and not yet irrevocable. Front = oldest.
+    history: VecDeque<DynInst>,
+    /// Number of instructions from the *front* of `history` that have been
+    /// re-handed-out after a rewind and await re-delivery.
+    replay_cursor: usize,
+    /// Maximum history depth to retain (must exceed ROB size + front-end).
+    depth: usize,
+}
+
+impl ReplayBuffer {
+    /// Create a buffer retaining up to `depth` fetched instructions.
+    pub fn new(depth: usize) -> Self {
+        ReplayBuffer {
+            history: VecDeque::with_capacity(depth),
+            replay_cursor: 0,
+            depth,
+        }
+    }
+
+    /// Is a replay in progress?
+    #[inline]
+    pub fn replaying(&self) -> bool {
+        self.replay_cursor < self.history.len()
+    }
+
+    /// Next replayed instruction, if any.
+    pub fn pop_replay(&mut self) -> Option<DynInst> {
+        if self.replaying() {
+            let inst = self.history[self.replay_cursor];
+            self.replay_cursor += 1;
+            Some(inst)
+        } else {
+            None
+        }
+    }
+
+    /// Record a freshly generated instruction about to be handed out.
+    pub fn record(&mut self, inst: DynInst) {
+        if self.history.len() == self.depth {
+            self.history.pop_front();
+            // Keep the cursor consistent with the shifted deque.
+            self.replay_cursor = self.replay_cursor.saturating_sub(1);
+        }
+        self.history.push_back(inst);
+        self.replay_cursor = self.history.len();
+    }
+
+    /// Rewind the last `n` handed-out instructions.
+    ///
+    /// # Panics
+    /// Panics if `n` exceeds the retained history — that indicates the
+    /// buffer was sized smaller than the core's in-flight window.
+    pub fn rewind(&mut self, n: usize) {
+        assert!(
+            n <= self.replay_cursor,
+            "rewind({n}) exceeds retained history ({}); deepen the ReplayBuffer",
+            self.replay_cursor
+        );
+        self.replay_cursor -= n;
+    }
+}
+
+/// A trivial stream over a fixed instruction vector (testing/microbenches).
+pub struct VecStream {
+    insts: Vec<DynInst>,
+    pos: usize,
+    replay: ReplayBuffer,
+}
+
+impl VecStream {
+    /// Stream over `insts`, retaining a 512-deep replay window.
+    pub fn new(insts: Vec<DynInst>) -> Self {
+        VecStream {
+            insts,
+            pos: 0,
+            replay: ReplayBuffer::new(512),
+        }
+    }
+}
+
+impl InstStream for VecStream {
+    fn next(&mut self, _env: &mut dyn StreamEnv) -> Fetch {
+        if let Some(inst) = self.replay.pop_replay() {
+            return Fetch::Inst(inst);
+        }
+        match self.insts.get(self.pos) {
+            Some(&inst) => {
+                self.pos += 1;
+                self.replay.record(inst);
+                Fetch::Inst(inst)
+            }
+            None => Fetch::Done,
+        }
+    }
+
+    fn rmw_result(&mut self, _token: RmwToken, _old: u64) {}
+
+    fn rewind(&mut self, n: usize) {
+        self.replay.rewind(n);
+    }
+}
+
+/// A `StreamEnv` backed by a closure, for unit tests.
+pub struct FnEnv<F: Fn(Addr) -> u64> {
+    /// Closure answering sync-word reads.
+    pub read: F,
+    /// Reported cycle.
+    pub cycle: u64,
+}
+
+impl<F: Fn(Addr) -> u64> StreamEnv for FnEnv<F> {
+    fn read_sync_word(&self, addr: Addr) -> u64 {
+        (self.read)(addr)
+    }
+    fn now(&self) -> u64 {
+        self.cycle
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::OpKind;
+
+    fn env() -> FnEnv<impl Fn(Addr) -> u64> {
+        FnEnv {
+            read: |_| 0,
+            cycle: 0,
+        }
+    }
+
+    fn seq(n: usize) -> Vec<DynInst> {
+        (0..n)
+            .map(|i| DynInst::compute(i as u64 * 4, OpKind::IntAlu))
+            .collect()
+    }
+
+    #[test]
+    fn vec_stream_yields_then_done() {
+        let mut s = VecStream::new(seq(3));
+        let mut e = env();
+        for i in 0..3 {
+            match s.next(&mut e) {
+                Fetch::Inst(inst) => assert_eq!(inst.pc, i * 4),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(s.next(&mut e), Fetch::Done);
+        assert_eq!(s.next(&mut e), Fetch::Done);
+    }
+
+    #[test]
+    fn rewind_replays_squashed_instructions() {
+        let mut s = VecStream::new(seq(5));
+        let mut e = env();
+        for _ in 0..4 {
+            assert!(matches!(s.next(&mut e), Fetch::Inst(_)));
+        }
+        s.rewind(2);
+        match s.next(&mut e) {
+            Fetch::Inst(i) => assert_eq!(i.pc, 2 * 4),
+            other => panic!("unexpected {other:?}"),
+        }
+        match s.next(&mut e) {
+            Fetch::Inst(i) => assert_eq!(i.pc, 3 * 4),
+            other => panic!("unexpected {other:?}"),
+        }
+        match s.next(&mut e) {
+            Fetch::Inst(i) => assert_eq!(i.pc, 4 * 4),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(s.next(&mut e), Fetch::Done);
+    }
+
+    #[test]
+    fn nested_rewinds_accumulate() {
+        let mut s = VecStream::new(seq(6));
+        let mut e = env();
+        for _ in 0..5 {
+            s.next(&mut e);
+        }
+        s.rewind(1);
+        s.next(&mut e); // replay pc=16
+        s.rewind(3); // rewind past replayed + 2 original
+        match s.next(&mut e) {
+            Fetch::Inst(i) => assert_eq!(i.pc, 2 * 4),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "rewind")]
+    fn rewind_beyond_history_panics() {
+        let mut rb = ReplayBuffer::new(4);
+        rb.record(DynInst::compute(0, OpKind::Nop));
+        rb.rewind(2);
+    }
+
+    #[test]
+    fn replay_buffer_caps_depth() {
+        let mut rb = ReplayBuffer::new(3);
+        for i in 0..10 {
+            rb.record(DynInst::compute(i, OpKind::Nop));
+        }
+        rb.rewind(3);
+        let pcs: Vec<u64> = std::iter::from_fn(|| rb.pop_replay().map(|i| i.pc)).collect();
+        assert_eq!(pcs, vec![7, 8, 9]);
+    }
+}

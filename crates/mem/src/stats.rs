@@ -1,0 +1,100 @@
+//! Memory-system statistics and per-tick activity counters.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-core cache statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoreMemStats {
+    /// L1D lookups.
+    pub l1_accesses: u64,
+    /// L1D hits.
+    pub l1_hits: u64,
+    /// L1D misses (forwarded to L2).
+    pub l1_misses: u64,
+    /// L2 lookups for core requests.
+    pub l2_accesses: u64,
+    /// L2 hits that satisfied the request.
+    pub l2_hits: u64,
+    /// L2 misses (coherence transaction launched).
+    pub l2_misses: u64,
+    /// Lines filled cache-to-cache (vs. from memory).
+    pub c2c_fills: u64,
+    /// Invalidations received from the directory.
+    pub invalidations_received: u64,
+    /// Forwards (FwdGetS/FwdGetX) this tile served.
+    pub fwds_served: u64,
+    /// L2 victim evictions.
+    pub l2_evictions: u64,
+    /// L2 victim evictions that required a dirty writeback.
+    pub dirty_evictions: u64,
+}
+
+impl CoreMemStats {
+    /// L1 hit rate in [0, 1]; 0 when no accesses.
+    pub fn l1_hit_rate(&self) -> f64 {
+        if self.l1_accesses == 0 {
+            0.0
+        } else {
+            self.l1_hits as f64 / self.l1_accesses as f64
+        }
+    }
+}
+
+/// Whole-system memory statistics.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemStats {
+    /// Per-core breakdown.
+    pub per_core: Vec<CoreMemStats>,
+    /// Main-memory reads.
+    pub mem_reads: u64,
+    /// Main-memory writes (dirty writebacks).
+    pub mem_writes: u64,
+    /// Total coherence messages sent.
+    pub coh_messages: u64,
+}
+
+impl MemStats {
+    /// Zeroed stats for `n` cores.
+    pub fn new(n: usize) -> Self {
+        MemStats {
+            per_core: vec![CoreMemStats::default(); n],
+            ..Default::default()
+        }
+    }
+}
+
+/// Energy-relevant event counts accumulated since the last
+/// [`crate::MemorySystem::take_activity`] call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemActivity {
+    /// L1 array accesses.
+    pub l1_accesses: u64,
+    /// L2 array accesses.
+    pub l2_accesses: u64,
+    /// Flit-hops transmitted on the mesh.
+    pub noc_flit_hops: u64,
+    /// Main-memory accesses started.
+    pub mem_accesses: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_handles_zero() {
+        let s = CoreMemStats::default();
+        assert_eq!(s.l1_hit_rate(), 0.0);
+        let s = CoreMemStats {
+            l1_accesses: 10,
+            l1_hits: 7,
+            ..Default::default()
+        };
+        assert!((s.l1_hit_rate() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn new_sizes_per_core() {
+        assert_eq!(MemStats::new(16).per_core.len(), 16);
+    }
+}

@@ -1,0 +1,152 @@
+//! Fixed-bin histograms (power-distribution analysis for the trace
+//! figures).
+
+use serde::{Deserialize, Serialize};
+
+/// A histogram over a fixed `[lo, hi)` range with uniform bins; samples
+/// outside the range land in the first/last bin.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    count: u64,
+    sum: f64,
+}
+
+impl Histogram {
+    /// Histogram over `[lo, hi)` with `bins` uniform bins.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(hi > lo && bins >= 1);
+        Histogram {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            count: 0,
+            sum: 0.0,
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, x: f64) {
+        let n = self.bins.len();
+        let idx = if x < self.lo {
+            0
+        } else if x >= self.hi {
+            n - 1
+        } else {
+            (((x - self.lo) / (self.hi - self.lo)) * n as f64) as usize
+        };
+        self.bins[idx.min(n - 1)] += 1;
+        self.count += 1;
+        self.sum += x;
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of recorded samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Value at quantile `q` in [0, 1], estimated from bin boundaries.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q));
+        if self.count == 0 {
+            return self.lo;
+        }
+        let target = (q * self.count as f64).ceil() as u64;
+        let mut acc = 0u64;
+        for (i, &b) in self.bins.iter().enumerate() {
+            acc += b;
+            if acc >= target.max(1) {
+                // Upper edge of the bin.
+                return self.lo + (self.hi - self.lo) * (i + 1) as f64 / self.bins.len() as f64;
+            }
+        }
+        self.hi
+    }
+
+    /// Fraction of samples at or above `threshold`.
+    pub fn frac_at_least(&self, threshold: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let n = self.bins.len();
+        let start = if threshold <= self.lo {
+            0
+        } else if threshold >= self.hi {
+            return 0.0;
+        } else {
+            (((threshold - self.lo) / (self.hi - self.lo)) * n as f64).floor() as usize
+        };
+        let above: u64 = self.bins[start.min(n - 1)..].iter().sum();
+        above as f64 / self.count as f64
+    }
+
+    /// The raw bin counts.
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_summarises() {
+        let mut h = Histogram::new(0.0, 100.0, 10);
+        for i in 0..100 {
+            h.record(i as f64);
+        }
+        assert_eq!(h.count(), 100);
+        assert!((h.mean() - 49.5).abs() < 1e-9);
+        // Median is ~50 (bin upper-edge estimate).
+        let med = h.quantile(0.5);
+        assert!((45.0..=60.0).contains(&med), "median {med}");
+    }
+
+    #[test]
+    fn out_of_range_clamps() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        h.record(-5.0);
+        h.record(50.0);
+        assert_eq!(h.bins()[0], 1);
+        assert_eq!(h.bins()[4], 1);
+    }
+
+    #[test]
+    fn frac_at_least() {
+        let mut h = Histogram::new(0.0, 100.0, 100);
+        for i in 0..100 {
+            h.record(i as f64);
+        }
+        let f = h.frac_at_least(75.0);
+        assert!((f - 0.25).abs() < 0.03, "frac {f}");
+        assert_eq!(h.frac_at_least(1000.0), 0.0);
+        assert_eq!(h.frac_at_least(-1.0), 1.0);
+    }
+
+    #[test]
+    fn empty_histogram_is_safe() {
+        let h = Histogram::new(0.0, 1.0, 4);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.9), 0.0);
+        assert_eq!(h.frac_at_least(0.5), 0.0);
+    }
+
+    #[test]
+    fn quantile_extremes() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.record(5.0);
+        assert!(h.quantile(0.0) <= h.quantile(1.0));
+    }
+}

@@ -1,0 +1,19 @@
+//! # ptb-metrics — reporting utilities for the PTB evaluation
+//!
+//! Formatting and small-statistics helpers shared by the experiment
+//! harness: aligned text tables (the shape of the paper's figures as
+//! rows/series), CSV emission for plotting, summary statistics, and the
+//! §IV.D TDP core-packing arithmetic.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hist;
+pub mod stats;
+pub mod table;
+pub mod tdp;
+
+pub use hist::Histogram;
+pub use stats::{geomean, mean, stddev};
+pub use table::Table;
+pub use tdp::cores_within_tdp;

@@ -1,0 +1,139 @@
+//! Aligned text tables + CSV emission.
+
+use serde::{Deserialize, Serialize};
+
+/// A simple column-aligned table with a title, printable as text (for the
+/// terminal) or CSV (for plotting).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Table {
+    /// Table title (figure/table id in the experiment harness).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of cells (already formatted).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with a title and headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row of preformatted cells.
+    ///
+    /// # Panics
+    /// Panics if the cell count does not match the header count.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width mismatch in '{}'",
+            self.title
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Append a row of (label, numeric values) with fixed precision.
+    pub fn row_f(&mut self, label: &str, values: &[f64], precision: usize) -> &mut Self {
+        let mut cells = Vec::with_capacity(values.len() + 1);
+        cells.push(label.to_string());
+        cells.extend(values.iter().map(|v| format!("{v:.precision$}")));
+        self.row(cells)
+    }
+
+    /// Render as an aligned text block.
+    pub fn to_text(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render as CSV (title as a `#` comment line).
+    pub fn to_csv(&self) -> String {
+        let esc = |s: &str| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let mut out = format!("# {}\n", self.title);
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_rendering_aligns_columns() {
+        let mut t = Table::new("Fig X", &["bench", "DVFS", "PTB"]);
+        t.row_f("barnes", &[65.2, 8.01], 1);
+        t.row_f("fft", &[70.0, 9.5], 1);
+        let text = t.to_text();
+        assert!(text.contains("== Fig X =="));
+        let lines: Vec<&str> = text.lines().collect();
+        // All data lines have equal length (aligned).
+        assert_eq!(lines[2].len(), lines[3].len().max(lines[2].len()));
+        assert!(text.contains("barnes"));
+        assert!(text.contains("65.2"));
+    }
+
+    #[test]
+    fn csv_rendering_and_escaping() {
+        let mut t = Table::new("T", &["a", "b"]);
+        t.row(vec!["x,y".into(), "plain".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"x,y\",plain"));
+        assert!(csv.starts_with("# T\n"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new("T", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+}

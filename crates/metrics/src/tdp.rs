@@ -1,0 +1,49 @@
+//! The §IV.D TDP core-packing arithmetic.
+//!
+//! The paper's worked example: a 16-core CMP with a 100 W TDP gives
+//! 6.25 W/core; at a 50 % budget each core *should* average 3.125 W, so
+//! ideally 32 cores fit in the same TDP. A mechanism with budget-matching
+//! error `e` actually averages `3.125 × (1 + e)` W/core, so only
+//! `⌊100 / that⌋` cores fit: 19 for DVFS (e = 0.65), 22 for the plain
+//! 2-level approach (e = 0.40), 29 for PTB (e = 0.10).
+
+/// Number of cores that fit in `tdp_watts` when each core is budgeted
+/// `core_budget_watts` but the mechanism overshoots by fraction
+/// `error_frac` (its normalised AoPB).
+pub fn cores_within_tdp(tdp_watts: f64, core_budget_watts: f64, error_frac: f64) -> u32 {
+    assert!(tdp_watts > 0.0 && core_budget_watts > 0.0 && error_frac >= 0.0);
+    let effective = core_budget_watts * (1.0 + error_frac);
+    (tdp_watts / effective).floor() as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reproduces the paper's §IV.D numbers exactly.
+    #[test]
+    fn paper_worked_example() {
+        let tdp = 100.0;
+        let budget = 3.125; // 6.25 W/core at a 50% budget
+        assert_eq!(cores_within_tdp(tdp, budget, 0.65), 19); // DVFS
+        assert_eq!(cores_within_tdp(tdp, budget, 0.40), 22); // 2-level
+        assert_eq!(cores_within_tdp(tdp, budget, 0.10), 29); // PTB
+        assert_eq!(cores_within_tdp(tdp, budget, 0.0), 32); // ideal
+    }
+
+    #[test]
+    fn more_error_means_fewer_cores() {
+        let mut last = u32::MAX;
+        for e in [0.0, 0.1, 0.2, 0.4, 0.65, 1.0] {
+            let c = cores_within_tdp(100.0, 3.125, e);
+            assert!(c <= last);
+            last = c;
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_nonpositive_tdp() {
+        cores_within_tdp(0.0, 1.0, 0.1);
+    }
+}

@@ -1,0 +1,52 @@
+//! Per-cycle core activity sample (produced by `ptb-uarch`, consumed by
+//! the power model).
+
+use serde::{Deserialize, Serialize};
+
+/// What one core did in one of its clock cycles.
+///
+/// The out-of-order core fills one of these per tick; the power model turns
+/// it into tokens. Committed-instruction token totals (base + residency)
+/// are reported separately for PTHT updates.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct CoreActivity {
+    /// Did the core's clock tick this cycle? (False under DFS/DVFS skipped
+    /// cycles: only leakage then.)
+    pub ticked: bool,
+    /// Correct-path instructions fetched.
+    pub fetched: u32,
+    /// Wrong-path fetch slots consumed (post-misprediction).
+    pub wrongpath: u32,
+    /// Instructions dispatched (decode/rename).
+    pub dispatched: u32,
+    /// Base tokens of instructions issued to FUs this cycle (sum of class
+    /// centroids).
+    pub issued_base_tokens: f64,
+    /// Instructions issued.
+    pub issued: u32,
+    /// Instructions committed.
+    pub committed: u32,
+    /// ROB occupancy at end of cycle.
+    pub rob_occupancy: u32,
+    /// ROB entries that are *active* this cycle (operands ready / waiting
+    /// to issue / executing / holding an outstanding memory access). The
+    /// rest are stalled and per-entry clock gating keeps them cheap.
+    pub rob_active: u32,
+    /// LSQ occupancy at end of cycle.
+    pub lsq_occupancy: u32,
+    /// PTHT reads + writes performed.
+    pub ptht_accesses: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_idle() {
+        let a = CoreActivity::default();
+        assert!(!a.ticked);
+        assert_eq!(a.fetched, 0);
+        assert_eq!(a.issued_base_tokens, 0.0);
+    }
+}

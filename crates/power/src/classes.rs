@@ -1,0 +1,112 @@
+//! The eight power-token instruction classes.
+//!
+//! The paper computed per-instruction base power by running SPECint2000 and
+//! then clustered instruction types into **8 groups** with k-means; using
+//! the group centroid instead of the exact per-instruction joules costs
+//! < 1 % accuracy. We reproduce the quantisation: every [`OpKind`] maps to
+//! one of eight classes, and each class has a base token cost.
+
+use ptb_isa::OpKind;
+use serde::{Deserialize, Serialize};
+
+/// One of the paper's eight k-means instruction power groups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TokenClass {
+    /// Bubbles / nops.
+    Trivial,
+    /// Simple integer ALU.
+    IntSimple,
+    /// Control transfer (branch/jump: predictor + redirect datapath).
+    Control,
+    /// Integer multiply/divide.
+    IntComplex,
+    /// FP add/compare.
+    FpSimple,
+    /// FP multiply/divide.
+    FpComplex,
+    /// Loads (address generation + L1 read port).
+    MemRead,
+    /// Stores and atomics (L1 write port, store queue, RMW sequencing).
+    MemWrite,
+}
+
+impl TokenClass {
+    /// All classes, in a stable order.
+    pub const ALL: [TokenClass; 8] = [
+        TokenClass::Trivial,
+        TokenClass::IntSimple,
+        TokenClass::Control,
+        TokenClass::IntComplex,
+        TokenClass::FpSimple,
+        TokenClass::FpComplex,
+        TokenClass::MemRead,
+        TokenClass::MemWrite,
+    ];
+
+    /// Class of an operation kind.
+    pub fn of(kind: OpKind) -> TokenClass {
+        match kind {
+            OpKind::Nop => TokenClass::Trivial,
+            OpKind::IntAlu => TokenClass::IntSimple,
+            OpKind::Branch | OpKind::Jump => TokenClass::Control,
+            OpKind::IntMul => TokenClass::IntComplex,
+            OpKind::FpAlu => TokenClass::FpSimple,
+            OpKind::FpMul => TokenClass::FpComplex,
+            OpKind::Load => TokenClass::MemRead,
+            OpKind::Store | OpKind::AtomicRmw => TokenClass::MemWrite,
+        }
+    }
+
+    /// Stable dense index (for per-class tables).
+    pub fn index(self) -> usize {
+        match self {
+            TokenClass::Trivial => 0,
+            TokenClass::IntSimple => 1,
+            TokenClass::Control => 2,
+            TokenClass::IntComplex => 3,
+            TokenClass::FpSimple => 4,
+            TokenClass::FpComplex => 5,
+            TokenClass::MemRead => 6,
+            TokenClass::MemWrite => 7,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exactly_eight_classes_cover_all_kinds() {
+        let mut seen = std::collections::HashSet::new();
+        for kind in OpKind::ALL {
+            seen.insert(TokenClass::of(kind));
+        }
+        assert!(seen.len() <= 8);
+        // All eight classes are reachable.
+        assert_eq!(
+            TokenClass::ALL
+                .iter()
+                .collect::<std::collections::HashSet<_>>()
+                .len(),
+            8
+        );
+    }
+
+    #[test]
+    fn indices_are_dense_and_unique() {
+        let mut idx: Vec<usize> = TokenClass::ALL.iter().map(|c| c.index()).collect();
+        idx.sort_unstable();
+        assert_eq!(idx, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn memory_and_control_grouping() {
+        assert_eq!(TokenClass::of(OpKind::Branch), TokenClass::of(OpKind::Jump));
+        assert_eq!(
+            TokenClass::of(OpKind::Store),
+            TokenClass::of(OpKind::AtomicRmw)
+        );
+        assert_ne!(TokenClass::of(OpKind::Load), TokenClass::of(OpKind::Store));
+    }
+}

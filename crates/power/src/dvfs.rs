@@ -1,0 +1,125 @@
+//! DVFS operating points and transition model.
+//!
+//! §III.C of the paper evaluates DVFS with five power modes
+//! (V<sub>DD</sub> %, f %): (100, 100), (95, 95), (90, 90), (90, 75),
+//! (90, 65) — and DFS with the same frequency ladder at constant voltage.
+//! Dynamic power scales as V²·f; leakage scales ≈ linearly with V over
+//! this narrow range (the HotLeakage exponential linearised around 0.9 V).
+//!
+//! Mode transitions use Kim et al.'s fast on-chip regulators (HPCA 2008,
+//! 30–50 mV/ns) as the paper does ("a best case scenario for DVFS"): a
+//! full 10 % V<sub>DD</sub> swing at 0.9 V is ~90 mV ⇒ ~2–3 ns ⇒ ~8 cycles
+//! at 3 GHz, during which the core is stalled.
+
+use serde::{Deserialize, Serialize};
+
+/// One DVFS operating point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DvfsMode {
+    /// Voltage as a fraction of nominal.
+    pub v: f64,
+    /// Frequency as a fraction of nominal.
+    pub f: f64,
+}
+
+/// The paper's five modes, from fastest (index 0) to slowest.
+pub const DVFS_MODES: [DvfsMode; 5] = [
+    DvfsMode { v: 1.00, f: 1.00 },
+    DvfsMode { v: 0.95, f: 0.95 },
+    DvfsMode { v: 0.90, f: 0.90 },
+    DvfsMode { v: 0.90, f: 0.75 },
+    DvfsMode { v: 0.90, f: 0.65 },
+];
+
+/// Static reference to [`DVFS_MODES`] (for controllers that hold a ladder).
+pub static DVFS_MODES_REF: &[DvfsMode; 5] = &DVFS_MODES;
+
+/// DFS-only ladder: same frequencies, voltage pinned at nominal.
+pub const DFS_MODES: [DvfsMode; 5] = [
+    DvfsMode { v: 1.00, f: 1.00 },
+    DvfsMode { v: 1.00, f: 0.95 },
+    DvfsMode { v: 1.00, f: 0.90 },
+    DvfsMode { v: 1.00, f: 0.75 },
+    DvfsMode { v: 1.00, f: 0.65 },
+];
+
+/// Static reference to [`DFS_MODES`].
+pub static DFS_MODES_REF: &[DvfsMode; 5] = &DFS_MODES;
+
+impl DvfsMode {
+    /// Nominal operation.
+    pub const NOMINAL: DvfsMode = DvfsMode { v: 1.0, f: 1.0 };
+
+    /// Scale factor for *per-cycle* dynamic energy: V². (The frequency
+    /// factor of P ∝ V²f appears through the core ticking fewer cycles.)
+    #[inline]
+    pub fn dynamic_scale(&self) -> f64 {
+        self.v * self.v
+    }
+
+    /// Scale factor for leakage power (linearised V dependence).
+    #[inline]
+    pub fn leakage_scale(&self) -> f64 {
+        self.v
+    }
+
+    /// Stall cycles to switch between two modes with fast on-chip
+    /// regulators: proportional to the voltage swing (≈ 40 mV/ns at
+    /// 0.9 V nominal and 3 GHz ⇒ ≈ 8 cycles per 10 % swing), minimum 2
+    /// cycles for a frequency-only change (PLL relock is hidden).
+    pub fn transition_cycles(from: DvfsMode, to: DvfsMode) -> u64 {
+        if from == to {
+            return 0;
+        }
+        let dv = (from.v - to.v).abs();
+        let v_cycles = (dv / 0.10 * 8.0).round() as u64;
+        v_cycles.max(2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_is_monotone_in_power() {
+        let mut last = f64::INFINITY;
+        for m in DVFS_MODES {
+            let p = m.dynamic_scale() * m.f; // P ∝ V² f
+            assert!(p < last, "modes must strictly reduce dynamic power");
+            last = p;
+        }
+    }
+
+    #[test]
+    fn dfs_reduces_only_frequency() {
+        for m in DFS_MODES {
+            assert_eq!(m.v, 1.0);
+        }
+        assert!(DFS_MODES.windows(2).all(|w| w[1].f < w[0].f));
+    }
+
+    #[test]
+    fn lowest_mode_halves_dynamic_power() {
+        let m = DVFS_MODES[4];
+        let p = m.dynamic_scale() * m.f;
+        assert!((p - 0.5265).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transition_costs() {
+        assert_eq!(DvfsMode::transition_cycles(DVFS_MODES[0], DVFS_MODES[0]), 0);
+        // 5% V swing -> 4 cycles.
+        assert_eq!(DvfsMode::transition_cycles(DVFS_MODES[0], DVFS_MODES[1]), 4);
+        // Frequency-only change.
+        assert_eq!(DvfsMode::transition_cycles(DVFS_MODES[2], DVFS_MODES[3]), 2);
+        // 10% swing -> 8 cycles.
+        assert_eq!(DvfsMode::transition_cycles(DVFS_MODES[0], DVFS_MODES[2]), 8);
+    }
+
+    #[test]
+    fn leakage_scale_tracks_voltage() {
+        assert_eq!(DVFS_MODES[0].leakage_scale(), 1.0);
+        assert!((DVFS_MODES[2].leakage_scale() - 0.9).abs() < 1e-12);
+    }
+}

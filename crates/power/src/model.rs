@@ -1,0 +1,141 @@
+//! Activity → tokens conversion (the per-cycle power model).
+
+use crate::activity::CoreActivity;
+use crate::dvfs::DvfsMode;
+use crate::params::PowerParams;
+use serde::{Deserialize, Serialize};
+
+/// Per-cycle uncore activity (caches, NoC, memory controllers), as plain
+/// event counts so this crate stays independent of `ptb-mem`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct UncoreActivity {
+    /// L1 array accesses.
+    pub l1_accesses: u64,
+    /// L2 array accesses.
+    pub l2_accesses: u64,
+    /// NoC flit-hops.
+    pub noc_flit_hops: u64,
+    /// Main-memory accesses.
+    pub mem_accesses: u64,
+}
+
+/// Tokens consumed by one core in one global cycle.
+///
+/// Dynamic components only accrue when the core's clock ticked; they scale
+/// with V² under DVFS. Leakage accrues every global cycle and scales with
+/// V. Clock gating (always on, as in the paper's baseline) reduces the
+/// window/ROB background cost on cycles with no issue activity.
+pub fn core_cycle_tokens(p: &PowerParams, a: &CoreActivity, mode: DvfsMode) -> f64 {
+    let mut dynamic = 0.0;
+    if a.ticked {
+        dynamic += f64::from(a.fetched) * p.fetch_cost;
+        dynamic += f64::from(a.wrongpath) * p.wrongpath_cost;
+        dynamic += f64::from(a.dispatched) * p.decode_cost;
+        dynamic += a.issued_base_tokens;
+        // Per-entry clock gating: active window entries pay the full
+        // wakeup/select/bypass cost, stalled ones only a gated residue.
+        let active = a.rob_active.min(a.rob_occupancy);
+        dynamic += f64::from(active) * p.rob_occ_cost;
+        dynamic += f64::from(a.rob_occupancy - active) * p.rob_occ_gated_cost;
+        dynamic += f64::from(a.ptht_accesses) * p.ptht_access;
+    }
+    dynamic * mode.dynamic_scale() + p.core_leakage * mode.leakage_scale()
+}
+
+/// Tokens consumed by the uncore (shared) structures in one global cycle.
+pub fn uncore_cycle_tokens(p: &PowerParams, u: &UncoreActivity) -> f64 {
+    u.l1_accesses as f64 * p.l1_access
+        + u.l2_accesses as f64 * p.l2_access
+        + u.noc_flit_hops as f64 * p.noc_flit_hop
+        + u.mem_accesses as f64 * p.mem_access
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn busy_activity() -> CoreActivity {
+        CoreActivity {
+            ticked: true,
+            fetched: 3,
+            wrongpath: 0,
+            dispatched: 3,
+            issued_base_tokens: 150.0,
+            issued: 2,
+            committed: 2,
+            rob_occupancy: 60,
+            rob_active: 20,
+            lsq_occupancy: 12,
+            ptht_accesses: 5,
+        }
+    }
+
+    #[test]
+    fn idle_core_pays_only_leakage() {
+        let p = PowerParams::default();
+        let a = CoreActivity::default();
+        let t = core_cycle_tokens(&p, &a, DvfsMode::NOMINAL);
+        assert_eq!(t, p.core_leakage);
+    }
+
+    #[test]
+    fn busy_exceeds_stalled_exceeds_idle() {
+        let p = PowerParams::default();
+        let busy = core_cycle_tokens(&p, &busy_activity(), DvfsMode::NOMINAL);
+        let stalled = CoreActivity {
+            ticked: true,
+            rob_occupancy: 128,
+            ..Default::default()
+        };
+        let stalled_t = core_cycle_tokens(&p, &stalled, DvfsMode::NOMINAL);
+        let idle = core_cycle_tokens(&p, &CoreActivity::default(), DvfsMode::NOMINAL);
+        assert!(busy > stalled_t, "busy {busy} <= stalled {stalled_t}");
+        assert!(stalled_t > idle);
+    }
+
+    #[test]
+    fn dvfs_scales_dynamic_quadratically_and_leakage_linearly() {
+        let p = PowerParams::default();
+        let a = busy_activity();
+        let nominal = core_cycle_tokens(&p, &a, DvfsMode::NOMINAL);
+        let low = DvfsMode { v: 0.9, f: 0.9 };
+        let scaled = core_cycle_tokens(&p, &a, low);
+        let dyn_nominal = nominal - p.core_leakage;
+        let expect = dyn_nominal * 0.81 + p.core_leakage * 0.9;
+        assert!((scaled - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_entry_gating_reduces_background_for_stalled_windows() {
+        let p = PowerParams::default();
+        let mut a = busy_activity();
+        a.rob_active = 0; // everything stalled (e.g. chained spin loop)
+        a.issued = 0;
+        a.issued_base_tokens = 0.0;
+        let gated = core_cycle_tokens(&p, &a, DvfsMode::NOMINAL);
+        let mut b = busy_activity();
+        b.rob_active = 60; // all entries hot
+        b.issued = 0;
+        b.issued_base_tokens = 0.0;
+        let ungated = core_cycle_tokens(&p, &b, DvfsMode::NOMINAL);
+        assert!(gated < ungated);
+        // The gap is the per-entry gating saving.
+        let expect = 60.0 * (p.rob_occ_cost - p.rob_occ_gated_cost);
+        assert!(((ungated - gated) - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uncore_tokens_accumulate_all_sources() {
+        let p = PowerParams::default();
+        let u = UncoreActivity {
+            l1_accesses: 2,
+            l2_accesses: 1,
+            noc_flit_hops: 10,
+            mem_accesses: 1,
+        };
+        let t = uncore_cycle_tokens(&p, &u);
+        let expect = 2.0 * p.l1_access + p.l2_access + 10.0 * p.noc_flit_hop + p.mem_access;
+        assert!((t - expect).abs() < 1e-12);
+        assert_eq!(uncore_cycle_tokens(&p, &UncoreActivity::default()), 0.0);
+    }
+}

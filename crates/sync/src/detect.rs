@@ -1,0 +1,239 @@
+//! Spin detection hardware models.
+//!
+//! Two detectors:
+//!
+//! * [`BctSpinDetector`] — Li, Lebeck & Sorin's hardware (TPDS 2006, the
+//!   paper's \[12\]): observe the instructions committed between *backward
+//!   control transfers* (BCTs); if the same BCT keeps recurring with an
+//!   identical instruction footprint and no architectural state change
+//!   (approximated here as "no stores or atomics committed"), the thread
+//!   is spinning.
+//! * [`PowerSpinDetector`] — the PTB-native detector of §III.E/Figure 6:
+//!   spinning needs no dedicated tracking hardware because the power
+//!   signature gives it away — after the initial burst, a spinning core's
+//!   per-cycle token draw settles to a stable low plateau. The detector
+//!   flags a core whose exponentially-weighted power mean sits below a
+//!   threshold with low variance for long enough.
+
+use ptb_isa::OpKind;
+use serde::{Deserialize, Serialize};
+
+/// Backward-control-transfer spin detector (Li et al. \[12\]).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BctSpinDetector {
+    /// Consecutive identical BCT episodes required to declare spinning.
+    threshold: u32,
+    last_bct_pc: u64,
+    /// Rolling hash of the PCs committed since the last BCT.
+    hash: u64,
+    /// Footprint of the previous episode.
+    prev_episode: Option<(u64, u64)>,
+    repeats: u32,
+    wrote_state: bool,
+    spinning: bool,
+}
+
+impl BctSpinDetector {
+    /// Detector requiring `threshold` identical loop iterations.
+    pub fn new(threshold: u32) -> Self {
+        BctSpinDetector {
+            threshold,
+            last_bct_pc: 0,
+            hash: 0xcbf2_9ce4_8422_2325,
+            prev_episode: None,
+            repeats: 0,
+            wrote_state: false,
+            spinning: false,
+        }
+    }
+
+    /// Observe one committed instruction. Returns the current verdict.
+    pub fn commit(&mut self, pc: u64, kind: OpKind, taken_backward: bool) -> bool {
+        if matches!(kind, OpKind::Store | OpKind::AtomicRmw) {
+            self.wrote_state = true;
+        }
+        // FNV-style fold of the committed PC.
+        self.hash = (self.hash ^ pc).wrapping_mul(0x100_0000_01b3);
+        if kind.is_ctrl() && taken_backward {
+            let episode = (pc, self.hash);
+            if !self.wrote_state && self.prev_episode == Some(episode) {
+                self.repeats += 1;
+            } else {
+                self.repeats = 0;
+            }
+            self.prev_episode = Some(episode);
+            self.last_bct_pc = pc;
+            self.hash = 0xcbf2_9ce4_8422_2325;
+            self.wrote_state = false;
+            self.spinning = self.repeats >= self.threshold;
+        }
+        self.spinning
+    }
+
+    /// Current verdict.
+    pub fn is_spinning(&self) -> bool {
+        self.spinning
+    }
+}
+
+/// Power-pattern spin detector (§III.E, Figure 6).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PowerSpinDetector {
+    /// Tokens/cycle below which a core *might* be spinning.
+    pub low_threshold: f64,
+    /// Allowed relative fluctuation of the plateau.
+    pub stability: f64,
+    /// Cycles the plateau must persist.
+    pub persistence: u32,
+    ema: f64,
+    stable_cycles: u32,
+}
+
+impl PowerSpinDetector {
+    /// Detector declaring a spin when per-cycle tokens stay below
+    /// `low_threshold` (± `stability` relative wobble) for `persistence`
+    /// cycles.
+    pub fn new(low_threshold: f64, stability: f64, persistence: u32) -> Self {
+        PowerSpinDetector {
+            low_threshold,
+            stability,
+            persistence,
+            ema: 0.0,
+            stable_cycles: 0,
+        }
+    }
+
+    /// Observe one cycle's token draw. Returns the current verdict.
+    pub fn observe(&mut self, tokens: f64) -> bool {
+        const ALPHA: f64 = 0.1;
+        self.ema = if self.ema == 0.0 {
+            tokens
+        } else {
+            ALPHA * tokens + (1.0 - ALPHA) * self.ema
+        };
+        let stable = self.ema > 0.0
+            && self.ema < self.low_threshold
+            && (tokens - self.ema).abs() <= self.stability * self.ema.max(1e-9);
+        if stable {
+            self.stable_cycles = self.stable_cycles.saturating_add(1);
+        } else {
+            self.stable_cycles = 0;
+        }
+        self.is_spinning()
+    }
+
+    /// Current verdict.
+    pub fn is_spinning(&self) -> bool {
+        self.stable_cycles >= self.persistence
+    }
+
+    /// Reset after a known phase change (e.g. the local budget moved).
+    pub fn reset(&mut self) {
+        self.stable_cycles = 0;
+        self.ema = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spin_iteration(det: &mut BctSpinDetector) -> bool {
+        det.commit(0x100, OpKind::Load, false);
+        det.commit(0x104, OpKind::IntAlu, false);
+        det.commit(0x108, OpKind::Branch, true)
+    }
+
+    #[test]
+    fn bct_detects_identical_loop() {
+        let mut d = BctSpinDetector::new(3);
+        let mut verdicts = Vec::new();
+        for _ in 0..6 {
+            verdicts.push(spin_iteration(&mut d));
+        }
+        assert!(!verdicts[0]);
+        assert!(verdicts[5], "six identical iterations must be detected");
+    }
+
+    #[test]
+    fn bct_resets_on_store() {
+        let mut d = BctSpinDetector::new(3);
+        for _ in 0..6 {
+            spin_iteration(&mut d);
+        }
+        assert!(d.is_spinning());
+        // A store in the loop body means architectural progress.
+        d.commit(0x100, OpKind::Load, false);
+        d.commit(0x104, OpKind::Store, false);
+        assert!(!d.commit(0x108, OpKind::Branch, true));
+    }
+
+    #[test]
+    fn bct_resets_on_different_footprint() {
+        let mut d = BctSpinDetector::new(2);
+        for _ in 0..4 {
+            spin_iteration(&mut d);
+        }
+        assert!(d.is_spinning());
+        // Different body PC -> different hash -> not the same loop.
+        d.commit(0x200, OpKind::IntAlu, false);
+        assert!(!d.commit(0x108, OpKind::Branch, true));
+    }
+
+    #[test]
+    fn bct_ignores_forward_branches() {
+        let mut d = BctSpinDetector::new(1);
+        for _ in 0..10 {
+            d.commit(0x100, OpKind::Load, false);
+            d.commit(0x108, OpKind::Branch, false); // forward/not-taken
+        }
+        assert!(!d.is_spinning());
+    }
+
+    #[test]
+    fn power_detector_flags_stable_low_plateau() {
+        let mut d = PowerSpinDetector::new(100.0, 0.2, 30);
+        // Busy phase: high power.
+        for _ in 0..50 {
+            assert!(!d.observe(300.0));
+        }
+        // Spin plateau: low, stable.
+        let mut flagged = false;
+        for _ in 0..200 {
+            flagged = d.observe(60.0);
+        }
+        assert!(flagged);
+    }
+
+    #[test]
+    fn power_detector_rejects_noisy_low_power() {
+        let mut d = PowerSpinDetector::new(100.0, 0.1, 30);
+        let mut flagged = false;
+        for i in 0..300 {
+            let p = if i % 2 == 0 { 20.0 } else { 90.0 };
+            flagged = d.observe(p);
+        }
+        assert!(!flagged, "wildly fluctuating power is not a spin plateau");
+    }
+
+    #[test]
+    fn power_detector_rejects_high_power() {
+        let mut d = PowerSpinDetector::new(100.0, 0.2, 30);
+        let mut flagged = false;
+        for _ in 0..300 {
+            flagged = d.observe(250.0);
+        }
+        assert!(!flagged);
+    }
+
+    #[test]
+    fn power_detector_reset_clears_state() {
+        let mut d = PowerSpinDetector::new(100.0, 0.2, 10);
+        for _ in 0..100 {
+            d.observe(50.0);
+        }
+        assert!(d.is_spinning());
+        d.reset();
+        assert!(!d.is_spinning());
+    }
+}

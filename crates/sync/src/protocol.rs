@@ -1,0 +1,734 @@
+//! Lock and barrier protocols as instruction-emitting state machines.
+//!
+//! Each protocol yields the exact dynamic-instruction sequence a SPLASH-2
+//! style runtime would execute — test-and-test-and-set polling loops,
+//! atomic acquisition, sense-reversing barrier arrival — one instruction
+//! per call, tagged with the execution context ([`ptb_isa::ExecCtx`]) that
+//! drives the paper's Figure 3/4 breakdowns.
+//!
+//! The atomic step is split-phase: after emitting the RMW the machine
+//! returns [`SyncStep::Stall`] until the caller reports the executed old
+//! value via `rmw_result`, so lock winners are chosen by the memory
+//! system's coherence serialisation, not by this code.
+
+use crate::fabric::SyncFabric;
+use ptb_isa::{
+    Addr, BarrierId, DynInst, ExecCtx, LockId, OpKind, RmwOp, RmwRequest, RmwToken, StreamEnv,
+};
+
+/// One step of a synchronisation protocol.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SyncStep {
+    /// Feed this instruction to the core.
+    Inst(DynInst),
+    /// Waiting for an RMW result; nothing to feed.
+    Stall,
+    /// Protocol finished.
+    Done,
+}
+
+// ---------------------------------------------------------------- lock ---
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum AcqState {
+    PollLoad,
+    PollTest,
+    PollPause1,
+    PollPause2,
+    PollBranch,
+    TryRmw,
+    WaitRmw,
+    Done,
+}
+
+/// Test-and-test-and-set acquisition of a spinlock.
+#[derive(Debug)]
+pub struct LockAcquire {
+    lock: LockId,
+    addr: Addr,
+    /// Value stored on acquisition (owner id + 1, so 0 = free).
+    claim: u64,
+    token: RmwToken,
+    pc_base: u64,
+    state: AcqState,
+    /// Spin-loop iterations performed (diagnostics).
+    pub spin_iters: u64,
+}
+
+impl LockAcquire {
+    /// Start acquiring `lock` (at address `addr`) for owner `claim − 1`.
+    /// `pc_base` anchors the spin loop's static PCs; `token` correlates the
+    /// RMW result.
+    pub fn new(lock: LockId, addr: Addr, claim: u64, pc_base: u64, token: RmwToken) -> Self {
+        assert!(claim != 0, "claim value 0 means 'free'");
+        LockAcquire {
+            lock,
+            addr,
+            claim,
+            token,
+            pc_base,
+            state: AcqState::PollLoad,
+            spin_iters: 0,
+        }
+    }
+
+    /// Produce the next instruction (or stall/done).
+    pub fn next(&mut self, env: &mut dyn StreamEnv) -> SyncStep {
+        match self.state {
+            // The poll loop is fully dependence-chained (each instruction
+            // consumes its predecessor) with two pause slots, modelling a
+            // polite spin-wait: one iteration resolves every ~5-6 cycles,
+            // so a spinning core draws well under its local budget — the
+            // low stable plateau of the paper's Figure 6.
+            AcqState::PollLoad => {
+                self.state = AcqState::PollTest;
+                SyncStep::Inst(
+                    DynInst::load(self.pc_base, self.addr)
+                        .with_deps(Some(1), None)
+                        .with_ctx(ExecCtx::lock_spin(self.lock)),
+                )
+            }
+            AcqState::PollTest => {
+                self.state = AcqState::PollPause1;
+                SyncStep::Inst(
+                    DynInst::compute(self.pc_base + 4, OpKind::IntAlu)
+                        .with_deps(Some(1), None)
+                        .with_ctx(ExecCtx::lock_spin(self.lock)),
+                )
+            }
+            AcqState::PollPause1 => {
+                self.state = AcqState::PollPause2;
+                SyncStep::Inst(
+                    DynInst::compute(self.pc_base + 8, OpKind::Nop)
+                        .with_deps(Some(1), None)
+                        .with_ctx(ExecCtx::lock_spin(self.lock)),
+                )
+            }
+            AcqState::PollPause2 => {
+                self.state = AcqState::PollBranch;
+                SyncStep::Inst(
+                    DynInst::compute(self.pc_base + 12, OpKind::Nop)
+                        .with_deps(Some(1), None)
+                        .with_ctx(ExecCtx::lock_spin(self.lock)),
+                )
+            }
+            AcqState::PollBranch => {
+                let held = env.read_sync_word(self.addr) != 0;
+                self.state = if held {
+                    self.spin_iters += 1;
+                    AcqState::PollLoad
+                } else {
+                    AcqState::TryRmw
+                };
+                SyncStep::Inst(
+                    DynInst::branch(self.pc_base + 16, held, self.pc_base)
+                        .with_deps(Some(1), None)
+                        .with_ctx(ExecCtx::lock_spin(self.lock)),
+                )
+            }
+            AcqState::TryRmw => {
+                self.state = AcqState::WaitRmw;
+                let req = RmwRequest {
+                    op: RmwOp::TestAndSet,
+                    operand: self.claim,
+                    token: self.token,
+                };
+                SyncStep::Inst(
+                    DynInst::rmw(self.pc_base + 20, self.addr, req)
+                        .with_ctx(ExecCtx::lock_acq(self.lock)),
+                )
+            }
+            AcqState::WaitRmw => SyncStep::Stall,
+            AcqState::Done => SyncStep::Done,
+        }
+    }
+
+    /// Report the TAS result; returns `true` if the lock was acquired.
+    pub fn rmw_result(&mut self, token: RmwToken, old: u64) -> bool {
+        debug_assert_eq!(token, self.token);
+        debug_assert_eq!(self.state, AcqState::WaitRmw);
+        if old == 0 {
+            self.state = AcqState::Done;
+            true
+        } else {
+            self.spin_iters += 1;
+            self.state = AcqState::PollLoad;
+            false
+        }
+    }
+
+    /// Finished?
+    pub fn is_done(&self) -> bool {
+        self.state == AcqState::Done
+    }
+}
+
+/// Release of a held spinlock (atomic swap to 0, so the release's
+/// coherence traffic — invalidating the spinners' copies — is modelled).
+#[derive(Debug)]
+pub struct LockRelease {
+    lock: LockId,
+    addr: Addr,
+    token: RmwToken,
+    pc_base: u64,
+    state: u8, // 0 = emit, 1 = wait, 2 = done
+}
+
+impl LockRelease {
+    /// Start releasing `lock`.
+    pub fn new(lock: LockId, addr: Addr, pc_base: u64, token: RmwToken) -> Self {
+        LockRelease {
+            lock,
+            addr,
+            token,
+            pc_base,
+            state: 0,
+        }
+    }
+
+    /// Produce the next instruction (or stall/done).
+    pub fn next(&mut self, _env: &mut dyn StreamEnv) -> SyncStep {
+        match self.state {
+            0 => {
+                self.state = 1;
+                let req = RmwRequest {
+                    op: RmwOp::Swap,
+                    operand: 0,
+                    token: self.token,
+                };
+                SyncStep::Inst(
+                    DynInst::rmw(self.pc_base + 24, self.addr, req)
+                        .with_ctx(ExecCtx::lock_rel(self.lock)),
+                )
+            }
+            1 => SyncStep::Stall,
+            _ => SyncStep::Done,
+        }
+    }
+
+    /// Report the swap result.
+    pub fn rmw_result(&mut self, token: RmwToken, _old: u64) {
+        debug_assert_eq!(token, self.token);
+        debug_assert_eq!(self.state, 1);
+        self.state = 2;
+    }
+
+    /// Finished?
+    pub fn is_done(&self) -> bool {
+        self.state == 2
+    }
+}
+
+// ------------------------------------------------------------- barrier ---
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum BarState {
+    ReadSense,
+    Arrive,
+    WaitArrive,
+    ResetCounter,
+    WaitReset,
+    FlipSense,
+    WaitFlip,
+    SpinLoad,
+    SpinTest,
+    SpinPause1,
+    SpinPause2,
+    SpinBranch,
+    Done,
+}
+
+/// Sense-reversing centralised barrier for `n_threads` participants.
+///
+/// Arrival is a fetch-add on the counter word; the last arriver resets the
+/// counter and flips the generation (sense) word, releasing the spinners.
+#[derive(Debug)]
+pub struct BarrierWait {
+    barrier: BarrierId,
+    counter: Addr,
+    sense: Addr,
+    n_threads: u64,
+    token: RmwToken,
+    pc_base: u64,
+    state: BarState,
+    my_gen: u64,
+    /// Spin-loop iterations performed (diagnostics).
+    pub spin_iters: u64,
+    /// Was this thread the last arriver?
+    pub was_last: bool,
+}
+
+impl BarrierWait {
+    /// Start waiting at `barrier` (counter and sense word addresses from
+    /// the standard layout).
+    pub fn new(
+        barrier: BarrierId,
+        counter: Addr,
+        sense: Addr,
+        n_threads: u64,
+        pc_base: u64,
+        token: RmwToken,
+    ) -> Self {
+        assert!(n_threads >= 1);
+        BarrierWait {
+            barrier,
+            counter,
+            sense,
+            n_threads,
+            token,
+            pc_base,
+            state: BarState::ReadSense,
+            my_gen: 0,
+            spin_iters: 0,
+            was_last: false,
+        }
+    }
+
+    /// Produce the next instruction (or stall/done).
+    pub fn next(&mut self, env: &mut dyn StreamEnv) -> SyncStep {
+        let arrive = ExecCtx::barrier_arrive(self.barrier);
+        let spin = ExecCtx::barrier_spin(self.barrier);
+        match self.state {
+            BarState::ReadSense => {
+                self.my_gen = env.read_sync_word(self.sense);
+                self.state = BarState::Arrive;
+                SyncStep::Inst(DynInst::load(self.pc_base, self.sense).with_ctx(arrive))
+            }
+            BarState::Arrive => {
+                self.state = BarState::WaitArrive;
+                let req = RmwRequest {
+                    op: RmwOp::FetchAdd,
+                    operand: 1,
+                    token: self.token,
+                };
+                SyncStep::Inst(DynInst::rmw(self.pc_base + 4, self.counter, req).with_ctx(arrive))
+            }
+            BarState::WaitArrive | BarState::WaitReset | BarState::WaitFlip => SyncStep::Stall,
+            BarState::ResetCounter => {
+                self.state = BarState::WaitReset;
+                let req = RmwRequest {
+                    op: RmwOp::Swap,
+                    operand: 0,
+                    token: self.token,
+                };
+                SyncStep::Inst(DynInst::rmw(self.pc_base + 8, self.counter, req).with_ctx(arrive))
+            }
+            BarState::FlipSense => {
+                self.state = BarState::WaitFlip;
+                let req = RmwRequest {
+                    op: RmwOp::FetchAdd,
+                    operand: 1,
+                    token: self.token,
+                };
+                SyncStep::Inst(DynInst::rmw(self.pc_base + 12, self.sense, req).with_ctx(arrive))
+            }
+            // Dependence-chained spin loop with pause slots (see the lock
+            // poll loop above for rationale).
+            BarState::SpinLoad => {
+                self.state = BarState::SpinTest;
+                SyncStep::Inst(
+                    DynInst::load(self.pc_base + 16, self.sense)
+                        .with_deps(Some(1), None)
+                        .with_ctx(spin),
+                )
+            }
+            BarState::SpinTest => {
+                self.state = BarState::SpinPause1;
+                SyncStep::Inst(
+                    DynInst::compute(self.pc_base + 20, OpKind::IntAlu)
+                        .with_deps(Some(1), None)
+                        .with_ctx(spin),
+                )
+            }
+            BarState::SpinPause1 => {
+                self.state = BarState::SpinPause2;
+                SyncStep::Inst(
+                    DynInst::compute(self.pc_base + 24, OpKind::Nop)
+                        .with_deps(Some(1), None)
+                        .with_ctx(spin),
+                )
+            }
+            BarState::SpinPause2 => {
+                self.state = BarState::SpinBranch;
+                SyncStep::Inst(
+                    DynInst::compute(self.pc_base + 28, OpKind::Nop)
+                        .with_deps(Some(1), None)
+                        .with_ctx(spin),
+                )
+            }
+            BarState::SpinBranch => {
+                let released = env.read_sync_word(self.sense) != self.my_gen;
+                self.state = if released {
+                    BarState::Done
+                } else {
+                    self.spin_iters += 1;
+                    BarState::SpinLoad
+                };
+                SyncStep::Inst(
+                    DynInst::branch(self.pc_base + 32, !released, self.pc_base + 16)
+                        .with_deps(Some(1), None)
+                        .with_ctx(spin),
+                )
+            }
+            BarState::Done => SyncStep::Done,
+        }
+    }
+
+    /// Report an RMW result (arrival, counter reset or sense flip).
+    pub fn rmw_result(&mut self, token: RmwToken, old: u64) {
+        debug_assert_eq!(token, self.token);
+        match self.state {
+            BarState::WaitArrive => {
+                if old == self.n_threads - 1 {
+                    self.was_last = true;
+                    self.state = BarState::ResetCounter;
+                } else {
+                    self.state = BarState::SpinLoad;
+                }
+            }
+            BarState::WaitReset => self.state = BarState::FlipSense,
+            BarState::WaitFlip => self.state = BarState::Done,
+            s => unreachable!("unexpected rmw_result in state {s:?}"),
+        }
+    }
+
+    /// Finished?
+    pub fn is_done(&self) -> bool {
+        self.state == BarState::Done
+    }
+}
+
+// -------------------------------------------------------------- helpers ---
+
+/// A `StreamEnv` view over a [`SyncFabric`] — used by tests here and by the
+/// full simulator in `ptb-core`.
+pub struct FabricEnv<'a> {
+    /// The fabric to read.
+    pub fabric: &'a SyncFabric,
+    /// Reported cycle.
+    pub cycle: u64,
+}
+
+impl StreamEnv for FabricEnv<'_> {
+    fn read_sync_word(&self, addr: Addr) -> u64 {
+        self.fabric.read(addr)
+    }
+    fn now(&self) -> u64 {
+        self.cycle
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptb_isa::addr::layout;
+
+    /// Drive a set of protocol state machines round-robin against a shared
+    /// fabric, applying RMWs instantly (functional check only). Returns the
+    /// order in which machines finished.
+    fn drive_locks(n: usize, max_steps: usize) -> (Vec<usize>, SyncFabric) {
+        let mut fabric = SyncFabric::new();
+        let addr = layout::lock_addr(0);
+        let mut sms: Vec<LockAcquire> = (0..n)
+            .map(|i| LockAcquire::new(LockId(0), addr, i as u64 + 1, 0x9000, RmwToken(i as u64)))
+            .collect();
+        let mut finish_order = Vec::new();
+        let mut holder: Option<usize> = None;
+        for step in 0..max_steps {
+            let i = step % n;
+            if sms[i].is_done() {
+                continue;
+            }
+            let stepr = {
+                let mut env = FabricEnv {
+                    fabric: &fabric,
+                    cycle: step as u64,
+                };
+                sms[i].next(&mut env)
+            };
+            match stepr {
+                SyncStep::Inst(inst) => {
+                    assert!(inst.validate().is_ok());
+                    if let Some(rmw) = inst.rmw {
+                        let old = fabric.execute(rmw.op, inst.mem.unwrap().addr, rmw.operand);
+                        let acquired = sms[i].rmw_result(rmw.token, old);
+                        if acquired {
+                            assert!(holder.is_none(), "mutual exclusion violated");
+                            holder = Some(i);
+                            finish_order.push(i);
+                            // Release immediately so others can proceed.
+                            fabric.execute(RmwOp::Swap, addr, 0);
+                            let _ = holder.take();
+                        }
+                    }
+                }
+                SyncStep::Stall | SyncStep::Done => {}
+            }
+            if finish_order.len() == n {
+                break;
+            }
+        }
+        (finish_order, fabric)
+    }
+
+    #[test]
+    fn all_contenders_eventually_acquire() {
+        let (order, _) = drive_locks(4, 100_000);
+        assert_eq!(order.len(), 4, "not all threads acquired the lock");
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn uncontended_lock_takes_four_instructions() {
+        let fabric = SyncFabric::new();
+        let mut sm = LockAcquire::new(LockId(1), layout::lock_addr(1), 1, 0x9000, RmwToken(0));
+        let mut insts = Vec::new();
+        let mut fab = fabric;
+        for cycle in 0..20 {
+            let stepr = {
+                let mut env = FabricEnv {
+                    fabric: &fab,
+                    cycle,
+                };
+                sm.next(&mut env)
+            };
+            match stepr {
+                SyncStep::Inst(inst) => {
+                    if let Some(rmw) = inst.rmw {
+                        let old = fab.execute(rmw.op, inst.mem.unwrap().addr, rmw.operand);
+                        sm.rmw_result(rmw.token, old);
+                    }
+                    insts.push(inst);
+                }
+                SyncStep::Done => break,
+                SyncStep::Stall => {}
+            }
+        }
+        // load, test, pause, pause, branch(not taken), TAS.
+        assert_eq!(insts.len(), 6);
+        assert_eq!(insts[0].kind, OpKind::Load);
+        assert_eq!(insts[4].kind, OpKind::Branch);
+        assert!(!insts[4].branch.unwrap().taken);
+        assert_eq!(insts[5].kind, OpKind::AtomicRmw);
+        assert!(sm.is_done());
+        assert_eq!(sm.spin_iters, 0);
+    }
+
+    #[test]
+    fn spinning_on_held_lock_emits_tagged_loop() {
+        let mut fabric = SyncFabric::new();
+        let addr = layout::lock_addr(2);
+        fabric.write(addr, 99); // held by someone else
+        let mut sm = LockAcquire::new(LockId(2), addr, 1, 0x9000, RmwToken(0));
+        let mut spin_insts = 0;
+        for cycle in 0..30 {
+            let stepr = {
+                let mut env = FabricEnv {
+                    fabric: &fabric,
+                    cycle,
+                };
+                sm.next(&mut env)
+            };
+            if let SyncStep::Inst(inst) = stepr {
+                assert!(
+                    inst.ctx.spinning,
+                    "all spin-loop instructions must be tagged"
+                );
+                assert_eq!(inst.ctx.state.bucket(), 1); // LockAcq
+                spin_insts += 1;
+                assert_ne!(inst.kind, OpKind::AtomicRmw, "must not TAS while held");
+            }
+        }
+        assert_eq!(spin_insts, 30);
+        assert!(sm.spin_iters >= 5);
+        // Release; the machine proceeds to a TAS and acquires.
+        fabric.write(addr, 0);
+        let mut acquired = false;
+        for cycle in 0..20 {
+            let stepr = {
+                let mut env = FabricEnv {
+                    fabric: &fabric,
+                    cycle,
+                };
+                sm.next(&mut env)
+            };
+            if let SyncStep::Inst(inst) = stepr {
+                if let Some(rmw) = inst.rmw {
+                    let old = fabric.execute(rmw.op, inst.mem.unwrap().addr, rmw.operand);
+                    acquired = sm.rmw_result(rmw.token, old);
+                }
+            }
+            if sm.is_done() {
+                break;
+            }
+        }
+        assert!(acquired);
+    }
+
+    #[test]
+    fn failed_tas_returns_to_spinning() {
+        // Lock free at poll time but stolen before the TAS executes.
+        let mut fabric = SyncFabric::new();
+        let addr = layout::lock_addr(3);
+        let mut sm = LockAcquire::new(LockId(3), addr, 1, 0x9000, RmwToken(0));
+        // poll load, test, pause, pause, branch(free) -> TryRmw.
+        for cycle in 0..5 {
+            let mut env = FabricEnv {
+                fabric: &fabric,
+                cycle,
+            };
+            assert!(matches!(sm.next(&mut env), SyncStep::Inst(_)));
+        }
+        // Thief takes the lock now.
+        fabric.execute(RmwOp::TestAndSet, addr, 42);
+        // Our TAS executes and fails.
+        let inst = {
+            let mut env = FabricEnv {
+                fabric: &fabric,
+                cycle: 5,
+            };
+            match sm.next(&mut env) {
+                SyncStep::Inst(i) => i,
+                other => panic!("expected TAS, got {other:?}"),
+            }
+        };
+        let rmw = inst.rmw.unwrap();
+        let old = fabric.execute(rmw.op, addr, rmw.operand);
+        assert!(!sm.rmw_result(rmw.token, old));
+        assert!(!sm.is_done());
+        // Back to polling.
+        let mut env = FabricEnv {
+            fabric: &fabric,
+            cycle: 4,
+        };
+        match sm.next(&mut env) {
+            SyncStep::Inst(i) => assert_eq!(i.kind, OpKind::Load),
+            other => panic!("expected poll load, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn release_emits_single_rmw_and_frees() {
+        let mut fabric = SyncFabric::new();
+        let addr = layout::lock_addr(4);
+        fabric.write(addr, 1);
+        let mut sm = LockRelease::new(LockId(4), addr, 0x9000, RmwToken(0));
+        let inst = {
+            let mut env = FabricEnv {
+                fabric: &fabric,
+                cycle: 0,
+            };
+            match sm.next(&mut env) {
+                SyncStep::Inst(i) => i,
+                other => panic!("{other:?}"),
+            }
+        };
+        assert_eq!(inst.ctx.state.bucket(), 2); // LockRel
+        let rmw = inst.rmw.unwrap();
+        let old = fabric.execute(rmw.op, addr, rmw.operand);
+        sm.rmw_result(rmw.token, old);
+        assert!(sm.is_done());
+        assert_eq!(fabric.read(addr), 0);
+    }
+
+    /// Full barrier episode across `n` participants, applying RMWs
+    /// instantly; checks that nobody passes early and everyone passes
+    /// eventually, twice in a row (sense reversal).
+    #[test]
+    fn barrier_releases_everyone_and_is_reusable() {
+        let n = 4usize;
+        let counter = layout::barrier_counter_addr(0);
+        let sense = layout::barrier_sense_addr(0);
+        let mut fabric = SyncFabric::new();
+        for episode in 0..2 {
+            let mut sms: Vec<BarrierWait> = (0..n)
+                .map(|i| {
+                    BarrierWait::new(
+                        BarrierId(0),
+                        counter,
+                        sense,
+                        n as u64,
+                        0xA000,
+                        RmwToken(i as u64),
+                    )
+                })
+                .collect();
+            let mut done = vec![false; n];
+            // Stagger arrivals: thread i only starts stepping after i*50
+            // steps.
+            for step in 0..100_000usize {
+                let i = step % n;
+                if done[i] || step / n < i * 50 {
+                    continue;
+                }
+                let stepr = {
+                    let mut env = FabricEnv {
+                        fabric: &fabric,
+                        cycle: step as u64,
+                    };
+                    sms[i].next(&mut env)
+                };
+                match stepr {
+                    SyncStep::Inst(inst) => {
+                        if let Some(rmw) = inst.rmw {
+                            let old = fabric.execute(rmw.op, inst.mem.unwrap().addr, rmw.operand);
+                            sms[i].rmw_result(rmw.token, old);
+                        }
+                    }
+                    SyncStep::Done => {
+                        done[i] = true;
+                        // No one may finish before the last thread arrived:
+                        // once anyone is done, the counter must have cycled.
+                        assert_eq!(
+                            fabric.read(counter),
+                            0,
+                            "early release in episode {episode}"
+                        );
+                    }
+                    SyncStep::Stall => {}
+                }
+                if done.iter().all(|&d| d) {
+                    break;
+                }
+            }
+            assert!(
+                done.iter().all(|&d| d),
+                "barrier deadlock in episode {episode}"
+            );
+            let lasts = sms.iter().filter(|s| s.was_last).count();
+            assert_eq!(lasts, 1, "exactly one last arriver");
+        }
+    }
+
+    #[test]
+    fn single_thread_barrier_passes_straight_through() {
+        let counter = layout::barrier_counter_addr(1);
+        let sense = layout::barrier_sense_addr(1);
+        let mut fabric = SyncFabric::new();
+        let mut sm = BarrierWait::new(BarrierId(1), counter, sense, 1, 0xA000, RmwToken(0));
+        for cycle in 0..50 {
+            let stepr = {
+                let mut env = FabricEnv {
+                    fabric: &fabric,
+                    cycle,
+                };
+                sm.next(&mut env)
+            };
+            match stepr {
+                SyncStep::Inst(inst) => {
+                    if let Some(rmw) = inst.rmw {
+                        let old = fabric.execute(rmw.op, inst.mem.unwrap().addr, rmw.operand);
+                        sm.rmw_result(rmw.token, old);
+                    }
+                }
+                SyncStep::Done => break,
+                SyncStep::Stall => {}
+            }
+        }
+        assert!(sm.is_done());
+        assert!(sm.was_last);
+        assert_eq!(sm.spin_iters, 0);
+    }
+}

@@ -1,0 +1,115 @@
+//! Core configuration (paper Table 1).
+
+use ptb_isa::OpKind;
+use serde::{Deserialize, Serialize};
+
+/// Static configuration of one out-of-order core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoreConfig {
+    /// Reorder-buffer (instruction window) entries. Table 1: 128.
+    pub rob_size: usize,
+    /// Load/store queue entries. Table 1: 64.
+    pub lsq_size: usize,
+    /// Fetch width (instructions/cycle). Table 1 decode width: 4.
+    pub fetch_width: usize,
+    /// Dispatch (decode/rename) width. Table 1: 4.
+    pub decode_width: usize,
+    /// Issue width. Table 1: 4.
+    pub issue_width: usize,
+    /// Commit width.
+    pub commit_width: usize,
+    /// Front-end depth in cycles (fetch → dispatch); the paper's 14-stage
+    /// pipeline split as ~8 front-end + execute/commit back-end.
+    pub frontend_depth: u64,
+    /// Integer ALUs. Table 1: 6.
+    pub int_alu: usize,
+    /// Integer multipliers. Table 1: 2.
+    pub int_mul: usize,
+    /// FP ALUs. Table 1: 4.
+    pub fp_alu: usize,
+    /// FP multipliers. Table 1: 4.
+    pub fp_mul: usize,
+    /// Post-commit store buffer entries.
+    pub store_buffer: usize,
+    /// L1-I cold-miss penalty in cycles (code working sets are small; the
+    /// instruction cache warms once per static line).
+    pub icache_miss_penalty: u64,
+}
+
+impl Default for CoreConfig {
+    fn default() -> Self {
+        CoreConfig {
+            rob_size: 128,
+            lsq_size: 64,
+            fetch_width: 4,
+            decode_width: 4,
+            issue_width: 4,
+            commit_width: 4,
+            frontend_depth: 8,
+            int_alu: 6,
+            int_mul: 2,
+            fp_alu: 4,
+            fp_mul: 4,
+            store_buffer: 16,
+            icache_miss_penalty: 12,
+        }
+    }
+}
+
+impl CoreConfig {
+    /// Execution latency of an operation class, in cycles (excluding
+    /// memory time for loads/stores/RMWs, which the memory system adds).
+    pub fn latency(&self, kind: OpKind) -> u64 {
+        match kind {
+            OpKind::Nop => 1,
+            OpKind::IntAlu => 1,
+            OpKind::IntMul => 3,
+            OpKind::FpAlu => 2,
+            OpKind::FpMul => 4,
+            OpKind::Branch | OpKind::Jump => 1,
+            // Address generation; the access itself is asynchronous.
+            OpKind::Load | OpKind::Store | OpKind::AtomicRmw => 1,
+        }
+    }
+
+    /// Number of functional units able to start `kind` each cycle.
+    pub fn fu_count(&self, kind: OpKind) -> usize {
+        match kind {
+            OpKind::IntAlu | OpKind::Branch | OpKind::Jump | OpKind::Nop => self.int_alu,
+            OpKind::IntMul => self.int_mul,
+            OpKind::FpAlu => self.fp_alu,
+            OpKind::FpMul => self.fp_mul,
+            // Loads/stores use LSQ ports.
+            OpKind::Load | OpKind::Store | OpKind::AtomicRmw => 2,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_defaults() {
+        let c = CoreConfig::default();
+        assert_eq!(c.rob_size, 128);
+        assert_eq!(c.lsq_size, 64);
+        assert_eq!(c.decode_width, 4);
+        assert_eq!(c.issue_width, 4);
+        assert_eq!(c.int_alu, 6);
+        assert_eq!(c.int_mul, 2);
+        assert_eq!(c.fp_alu, 4);
+        assert_eq!(c.fp_mul, 4);
+    }
+
+    #[test]
+    fn latencies_ordered_sensibly() {
+        let c = CoreConfig::default();
+        assert!(c.latency(OpKind::IntAlu) <= c.latency(OpKind::IntMul));
+        assert!(c.latency(OpKind::FpAlu) <= c.latency(OpKind::FpMul));
+        for k in OpKind::ALL {
+            assert!(c.latency(k) >= 1);
+            assert!(c.fu_count(k) >= 1);
+        }
+    }
+}

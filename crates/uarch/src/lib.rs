@@ -1,0 +1,39 @@
+//! # ptb-uarch — cycle-level out-of-order core model
+//!
+//! Rebuilds the core side of the paper's simulated CMP (GEMS *Opal* in the
+//! original) per Table 1: a 4-wide out-of-order core at 3 GHz with a
+//! 128-entry instruction window, 64-entry load/store queue, a 14-stage
+//! pipeline, a 64 KB 16-bit-history gshare predictor, and a functional-unit
+//! pool of 6 IntAlu / 2 IntMul / 4 FpAlu / 4 FpMul.
+//!
+//! The core is *trace-shaped but execution-accurate where it matters*:
+//! instructions come from an [`ptb_isa::InstStream`] with resolved branch
+//! outcomes, but atomic RMWs are split-phase (the stream learns the old
+//! value only when the timing model executes the operation), so lock
+//! acquisition order is decided by this model, not the workload generator.
+//!
+//! Power hooks: each tick produces a [`ptb_power::CoreActivity`] sample;
+//! committed instructions update the core's Power-Token History Table with
+//! their measured cost (base + ROB residency), and fetch accumulates the
+//! PTHT estimate the management mechanisms act on.
+//!
+//! Micro-architectural power-saving knobs ([`Throttle`]) implement the
+//! second level of the paper's hybrid approach: fetch throttling, issue
+//! width restriction and ROB resizing.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bpred;
+pub mod config;
+pub mod core;
+pub mod icache;
+pub mod stats;
+pub mod throttle;
+
+pub use crate::core::{Core, CoreMemKind, CoreMemReq, RmwExec};
+pub use bpred::Gshare;
+pub use config::CoreConfig;
+pub use icache::{ICache, ICacheConfig};
+pub use stats::CoreStats;
+pub use throttle::Throttle;

@@ -1,0 +1,95 @@
+//! Micro-architectural power-saving knobs.
+//!
+//! These implement the second level of the paper's hybrid (2-level)
+//! approach, taken from Cebrián et al., IPDPS 2009 \[2\]: when DVFS alone
+//! leaves power spikes over the budget, the core is throttled with
+//! progressively more aggressive micro-architectural techniques —
+//! fetch throttling, issue-width restriction and instruction-window
+//! (ROB) resizing.
+
+use serde::{Deserialize, Serialize};
+
+/// Active micro-architectural throttle state of a core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Throttle {
+    /// Fetch only once every `fetch_every` cycles (1 = no throttling).
+    pub fetch_every: u32,
+    /// Issue width cap (≤ configured issue width).
+    pub issue_width: usize,
+    /// Usable ROB entries (≤ configured ROB size).
+    pub rob_cap: usize,
+}
+
+impl Throttle {
+    /// No throttling.
+    pub fn none() -> Self {
+        Throttle {
+            fetch_every: 1,
+            issue_width: usize::MAX,
+            rob_cap: usize::MAX,
+        }
+    }
+
+    /// The graded levels used by the 2-level mechanism, mildest first:
+    /// 0 = off, 1 = fetch/2, 2 = fetch/2 + issue 3, 3 = fetch/3 + issue 2 +
+    /// ROB/2. Even level 3 leaves the machine running: micro-architectural
+    /// techniques have a power floor (leakage, clocks, minimum activity),
+    /// which is why a naive per-core budget cannot always be met — the gap
+    /// PTB closes with balancing.
+    pub fn level(l: u8) -> Self {
+        match l {
+            0 => Self::none(),
+            1 => Throttle {
+                fetch_every: 2,
+                issue_width: usize::MAX,
+                rob_cap: usize::MAX,
+            },
+            2 => Throttle {
+                fetch_every: 2,
+                issue_width: 3,
+                rob_cap: usize::MAX,
+            },
+            _ => Throttle {
+                fetch_every: 3,
+                issue_width: 2,
+                rob_cap: 64,
+            },
+        }
+    }
+
+    /// Number of graded levels (0..=3).
+    pub const LEVELS: u8 = 4;
+
+    /// Is any throttling active?
+    pub fn active(&self) -> bool {
+        *self != Self::none()
+    }
+}
+
+impl Default for Throttle {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_are_monotonically_more_aggressive() {
+        let l: Vec<Throttle> = (0..4).map(Throttle::level).collect();
+        assert!(!l[0].active());
+        assert!(l[1].active() && l[2].active() && l[3].active());
+        assert!(l[1].fetch_every <= l[2].fetch_every);
+        assert!(l[2].fetch_every <= l[3].fetch_every);
+        assert!(l[2].issue_width >= l[3].issue_width);
+        assert!(l[3].rob_cap < usize::MAX);
+    }
+
+    #[test]
+    fn default_is_off() {
+        assert!(!Throttle::default().active());
+        assert_eq!(Throttle::level(0), Throttle::none());
+    }
+}

@@ -1,0 +1,622 @@
+//! The fourteen benchmark models (paper Table 2).
+//!
+//! Each model is a parameter set — phase count, per-phase work,
+//! thread imbalance, lock behaviour, instruction mix, memory pattern —
+//! that generates per-thread programs in the statement IR. Parameters are
+//! chosen to reproduce the *published* qualitative behaviour of each
+//! benchmark (execution-time breakdown of the paper's Figure 3, memory
+//! intensity, contention class); see `DESIGN.md` for the substitution
+//! rationale.
+
+use crate::spec::{LockKind, Scale, WorkloadSpec};
+use crate::stmt::{flatten, Stmt};
+use ptb_isa::{BarrierId, BlockGenConfig, InstMix, LockId, MemPattern};
+use serde::{Deserialize, Serialize};
+
+/// The evaluated benchmarks (Table 2 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum Benchmark {
+    Barnes,
+    Cholesky,
+    Fft,
+    Ocean,
+    Radix,
+    Raytrace,
+    Tomcatv,
+    Unstructured,
+    Waternsq,
+    Watersp,
+    Blackscholes,
+    Fluidanimate,
+    Swaptions,
+    X264,
+}
+
+impl Benchmark {
+    /// All benchmarks, in the paper's figure order.
+    pub const ALL: [Benchmark; 14] = [
+        Benchmark::Barnes,
+        Benchmark::Cholesky,
+        Benchmark::Fft,
+        Benchmark::Ocean,
+        Benchmark::Radix,
+        Benchmark::Raytrace,
+        Benchmark::Tomcatv,
+        Benchmark::Unstructured,
+        Benchmark::Waternsq,
+        Benchmark::Watersp,
+        Benchmark::Blackscholes,
+        Benchmark::Fluidanimate,
+        Benchmark::Swaptions,
+        Benchmark::X264,
+    ];
+
+    /// Display name (Table 2 spelling).
+    pub fn name(self) -> &'static str {
+        match self {
+            Benchmark::Barnes => "barnes",
+            Benchmark::Cholesky => "cholesky",
+            Benchmark::Fft => "fft",
+            Benchmark::Ocean => "ocean",
+            Benchmark::Radix => "radix",
+            Benchmark::Raytrace => "raytrace",
+            Benchmark::Tomcatv => "tomcatv",
+            Benchmark::Unstructured => "unstructured",
+            Benchmark::Waternsq => "waternsq",
+            Benchmark::Watersp => "watersp",
+            Benchmark::Blackscholes => "blackscholes",
+            Benchmark::Fluidanimate => "fluidanimate",
+            Benchmark::Swaptions => "swaptions",
+            Benchmark::X264 => "x264",
+        }
+    }
+
+    /// Parse a Table 2 name.
+    pub fn from_name(name: &str) -> Option<Benchmark> {
+        Benchmark::ALL.into_iter().find(|b| b.name() == name)
+    }
+
+    /// Build the workload for `n_threads` threads at `scale`.
+    pub fn spec(self, n_threads: usize, scale: Scale) -> WorkloadSpec {
+        let p = self.params();
+        p.build(self, n_threads, scale)
+    }
+
+    fn params(self) -> Params {
+        use Benchmark::*;
+        match self {
+            // SPLASH-2 --------------------------------------------------
+            Barnes => Params {
+                phases: 8,
+                work: 3000,
+                imbalance: 0.25,
+                locks_per_phase: 2,
+                cs_len: 40,
+                n_locks: 16,
+                sync: SyncStyle::BarrierPerPhase,
+                mix: InstMix::fp_heavy(),
+                mem: MemPattern {
+                    shared_footprint: 256 << 10,
+                    shared_frac: 0.45,
+                    locality: 0.6,
+                    stride: 24,
+                    shared_offset: 0,
+                    cross_frac: 0.08,
+                },
+                flaky: 0.12,
+                dep_density: 0.55,
+            },
+            Cholesky => Params {
+                phases: 6,
+                work: 4000,
+                imbalance: 0.08,
+                locks_per_phase: 3,
+                cs_len: 25,
+                n_locks: 32,
+                sync: SyncStyle::FinalBarrierOnly,
+                mix: InstMix::fp_heavy(),
+                mem: MemPattern {
+                    shared_footprint: 512 << 10,
+                    shared_frac: 0.5,
+                    locality: 0.7,
+                    stride: 16,
+                    shared_offset: 0,
+                    cross_frac: 0.05,
+                },
+                flaky: 0.10,
+                dep_density: 0.60,
+            },
+            Fft => Params {
+                phases: 6,
+                work: 3500,
+                imbalance: 0.10,
+                locks_per_phase: 0,
+                cs_len: 0,
+                n_locks: 1,
+                sync: SyncStyle::BarrierPerPhase,
+                mix: InstMix::mem_heavy(),
+                mem: MemPattern {
+                    shared_footprint: 2 << 20,
+                    shared_frac: 0.7,
+                    locality: 0.25,
+                    stride: 64,
+                    shared_offset: 0,
+                    cross_frac: 0.10,
+                },
+                flaky: 0.06,
+                dep_density: 0.55,
+            },
+            Ocean => Params {
+                phases: 10,
+                work: 2500,
+                imbalance: 0.30,
+                locks_per_phase: 0,
+                cs_len: 0,
+                n_locks: 1,
+                sync: SyncStyle::BarrierPerPhase,
+                mix: InstMix::mem_heavy(),
+                mem: MemPattern {
+                    shared_footprint: 4 << 20,
+                    shared_frac: 0.75,
+                    locality: 0.2,
+                    stride: 64,
+                    shared_offset: 0,
+                    cross_frac: 0.06,
+                },
+                flaky: 0.08,
+                dep_density: 0.55,
+            },
+            Radix => Params {
+                phases: 5,
+                work: 3000,
+                imbalance: 0.45,
+                locks_per_phase: 0,
+                cs_len: 0,
+                n_locks: 1,
+                sync: SyncStyle::BarrierPerPhase,
+                mix: InstMix::int_heavy(),
+                mem: MemPattern {
+                    shared_footprint: 2 << 20,
+                    shared_frac: 0.65,
+                    locality: 0.15,
+                    stride: 64,
+                    shared_offset: 0,
+                    cross_frac: 0.12,
+                },
+                flaky: 0.05,
+                dep_density: 0.55,
+            },
+            Raytrace => Params {
+                phases: 6,
+                work: 3000,
+                imbalance: 0.40,
+                locks_per_phase: 4,
+                cs_len: 45,
+                n_locks: 4,
+                sync: SyncStyle::FinalBarrierOnly,
+                mix: InstMix::fp_heavy(),
+                mem: MemPattern {
+                    shared_footprint: 1 << 20,
+                    shared_frac: 0.5,
+                    locality: 0.5,
+                    stride: 32,
+                    shared_offset: 0,
+                    cross_frac: 0.06,
+                },
+                flaky: 0.18,
+                dep_density: 0.55,
+            },
+            Tomcatv => Params {
+                phases: 8,
+                work: 3000,
+                imbalance: 0.15,
+                locks_per_phase: 0,
+                cs_len: 0,
+                n_locks: 1,
+                sync: SyncStyle::BarrierPerPhase,
+                mix: InstMix::fp_heavy(),
+                mem: MemPattern {
+                    shared_footprint: 1 << 20,
+                    shared_frac: 0.55,
+                    locality: 0.45,
+                    stride: 32,
+                    shared_offset: 0,
+                    cross_frac: 0.05,
+                },
+                flaky: 0.05,
+                dep_density: 0.60,
+            },
+            Unstructured => Params {
+                phases: 8,
+                work: 2000,
+                imbalance: 0.30,
+                locks_per_phase: 8,
+                cs_len: 70,
+                n_locks: 2,
+                sync: SyncStyle::BarrierPerPhase,
+                mix: InstMix::fp_heavy(),
+                mem: MemPattern {
+                    shared_footprint: 512 << 10,
+                    shared_frac: 0.55,
+                    locality: 0.4,
+                    stride: 40,
+                    shared_offset: 0,
+                    cross_frac: 0.15,
+                },
+                flaky: 0.15,
+                dep_density: 0.55,
+            },
+            Waternsq => Params {
+                phases: 6,
+                work: 2500,
+                imbalance: 0.25,
+                locks_per_phase: 6,
+                cs_len: 45,
+                n_locks: 4,
+                sync: SyncStyle::BarrierPerPhase,
+                mix: InstMix::fp_heavy(),
+                mem: MemPattern {
+                    shared_footprint: 256 << 10,
+                    shared_frac: 0.45,
+                    locality: 0.6,
+                    stride: 24,
+                    shared_offset: 0,
+                    cross_frac: 0.10,
+                },
+                flaky: 0.10,
+                dep_density: 0.55,
+            },
+            Watersp => Params {
+                phases: 6,
+                work: 3000,
+                imbalance: 0.15,
+                locks_per_phase: 2,
+                cs_len: 30,
+                n_locks: 8,
+                sync: SyncStyle::BarrierPerPhase,
+                mix: InstMix::fp_heavy(),
+                mem: MemPattern {
+                    shared_footprint: 256 << 10,
+                    shared_frac: 0.4,
+                    locality: 0.65,
+                    stride: 24,
+                    shared_offset: 0,
+                    cross_frac: 0.06,
+                },
+                flaky: 0.08,
+                dep_density: 0.60,
+            },
+            // PARSEC ----------------------------------------------------
+            Blackscholes => Params {
+                phases: 4,
+                work: 5000,
+                imbalance: 0.05,
+                locks_per_phase: 0,
+                cs_len: 0,
+                n_locks: 1,
+                sync: SyncStyle::FinalBarrierOnly,
+                // Option pricing is FP code with long dependence chains
+                // (serial Black-Scholes formula per option): moderate IPC.
+                mix: InstMix {
+                    fp_mul: 0.12,
+                    load: 0.26,
+                    ..InstMix::fp_heavy()
+                },
+                mem: MemPattern {
+                    shared_footprint: 128 << 10,
+                    shared_frac: 0.3,
+                    locality: 0.8,
+                    stride: 16,
+                    shared_offset: 0,
+                    cross_frac: 0.02,
+                },
+                flaky: 0.03,
+                dep_density: 0.72,
+            },
+            Fluidanimate => Params {
+                phases: 6,
+                work: 2200,
+                imbalance: 0.25,
+                locks_per_phase: 10,
+                cs_len: 22,
+                n_locks: 8,
+                sync: SyncStyle::BarrierPerPhase,
+                mix: InstMix::fp_heavy(),
+                mem: MemPattern {
+                    shared_footprint: 1 << 20,
+                    shared_frac: 0.55,
+                    locality: 0.45,
+                    stride: 32,
+                    shared_offset: 0,
+                    cross_frac: 0.12,
+                },
+                flaky: 0.12,
+                dep_density: 0.55,
+            },
+            Swaptions => Params {
+                phases: 4,
+                work: 5000,
+                imbalance: 0.08,
+                locks_per_phase: 0,
+                cs_len: 0,
+                n_locks: 1,
+                sync: SyncStyle::FinalBarrierOnly,
+                // HJM simulation: FP chains over per-path state, moderate
+                // IPC.
+                mix: InstMix {
+                    fp_mul: 0.12,
+                    load: 0.26,
+                    ..InstMix::fp_heavy()
+                },
+                mem: MemPattern {
+                    shared_footprint: 96 << 10,
+                    shared_frac: 0.25,
+                    locality: 0.85,
+                    stride: 16,
+                    shared_offset: 0,
+                    cross_frac: 0.02,
+                },
+                flaky: 0.04,
+                dep_density: 0.72,
+            },
+            X264 => Params {
+                phases: 5,
+                work: 4000,
+                imbalance: 0.12,
+                locks_per_phase: 2,
+                cs_len: 18,
+                n_locks: 16,
+                sync: SyncStyle::FinalBarrierOnly,
+                mix: InstMix::int_heavy(),
+                mem: MemPattern {
+                    shared_footprint: 768 << 10,
+                    shared_frac: 0.5,
+                    locality: 0.55,
+                    stride: 32,
+                    shared_offset: 0,
+                    cross_frac: 0.05,
+                },
+                flaky: 0.14,
+                dep_density: 0.62,
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum SyncStyle {
+    /// Barrier at the end of every phase (data-parallel phase programs).
+    BarrierPerPhase,
+    /// Threads only synchronise once, at the end (task-parallel programs).
+    FinalBarrierOnly,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Params {
+    phases: u32,
+    /// Base compute instructions per thread per phase (pre-scale).
+    work: u64,
+    /// Max fractional per-thread work deviation; the "critical thread"
+    /// rotates between phases.
+    imbalance: f64,
+    locks_per_phase: u32,
+    cs_len: u64,
+    n_locks: usize,
+    sync: SyncStyle,
+    mix: InstMix,
+    mem: MemPattern,
+    flaky: f64,
+    /// Dependence density of the main compute profile (higher = less ILP,
+    /// cooler core). Calibrates each benchmark's sustained power.
+    dep_density: f64,
+}
+
+/// Deterministic per-(thread, phase) work deviation in [−1, 1]; rotates
+/// which thread is slowest so the critical thread changes over time, as
+/// the paper observes.
+fn deviation(bench: Benchmark, tid: usize, phase: u32) -> f64 {
+    let mut h = (tid as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    h ^= u64::from(phase + 1).wrapping_mul(0xc2b2_ae3d_27d4_eb4f);
+    h ^= (bench as u64 + 1).wrapping_mul(0x1656_67b1_9e37_79f9);
+    h ^= h >> 29;
+    h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h ^= h >> 32;
+    (h % 2001) as f64 / 1000.0 - 1.0
+}
+
+impl Params {
+    fn build(&self, bench: Benchmark, n_threads: usize, scale: Scale) -> WorkloadSpec {
+        assert!(n_threads >= 1);
+        let factor = scale.factor();
+        // Profile 0: main compute; profile 1: critical-section bodies
+        // (small, contended shared footprint — the protected data).
+        let profiles = vec![
+            BlockGenConfig {
+                mix: self.mix,
+                mem: self.mem,
+                static_len: 128,
+                flaky_branch_frac: self.flaky,
+                dep_density: self.dep_density,
+            },
+            BlockGenConfig {
+                mix: InstMix::balanced(),
+                mem: MemPattern {
+                    shared_footprint: 4 << 10,
+                    shared_offset: 16 << 20, // disjoint from the main window
+                    shared_frac: 0.8,
+                    locality: 0.5,
+                    stride: 16,
+                    // The protected data is genuinely shared: any access
+                    // may touch any line (migratory pattern).
+                    cross_frac: 1.0,
+                },
+                static_len: 32,
+                flaky_branch_frac: 0.05,
+                dep_density: 0.6,
+            },
+        ];
+        let programs = (0..n_threads)
+            .map(|tid| {
+                let mut prog = Vec::new();
+                for phase in 0..self.phases {
+                    let dev = deviation(bench, tid, phase);
+                    let work = (self.work as f64 * factor as f64 * (1.0 + self.imbalance * dev))
+                        .max(32.0) as u64;
+                    prog.push(Stmt::Compute {
+                        profile: 0,
+                        count: work,
+                    });
+                    for k in 0..self.locks_per_phase {
+                        let lock = (phase.wrapping_mul(7).wrapping_add(k.wrapping_mul(3))) as usize
+                            % self.n_locks;
+                        prog.push(Stmt::Lock(LockId(lock)));
+                        prog.push(Stmt::Compute {
+                            profile: 1,
+                            count: self.cs_len.max(4) * factor.min(4),
+                        });
+                        prog.push(Stmt::Unlock(LockId(lock)));
+                    }
+                    if self.sync == SyncStyle::BarrierPerPhase {
+                        prog.push(Stmt::Barrier(BarrierId(phase as usize % 4)));
+                    }
+                }
+                if self.sync == SyncStyle::FinalBarrierOnly {
+                    prog.push(Stmt::Barrier(BarrierId(7)));
+                }
+                flatten(&prog)
+            })
+            .collect();
+        WorkloadSpec {
+            name: bench.name().to_string(),
+            programs,
+            profiles,
+            seed: 0x5eed_0000 + bench as u64,
+            // Task-queue style programs use a fair FIFO (ticket) lock on
+            // the queue; everything else uses SPLASH-2's TTAS locks.
+            lock_kind: match bench {
+                Benchmark::Raytrace => LockKind::Ticket,
+                _ => LockKind::TestAndSet,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_fourteen_benchmarks_build_valid_specs() {
+        for bench in Benchmark::ALL {
+            for n in [2, 4, 8, 16] {
+                let spec = bench.spec(n, Scale::Test);
+                assert_eq!(spec.n_threads(), n);
+                let problems = spec.validate();
+                assert!(problems.is_empty(), "{bench}: {problems:?}");
+                assert!(spec.total_compute() > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn names_roundtrip() {
+        for b in Benchmark::ALL {
+            assert_eq!(Benchmark::from_name(b.name()), Some(b));
+        }
+        assert_eq!(Benchmark::from_name("nosuch"), None);
+    }
+
+    #[test]
+    fn contention_classes_match_the_paper() {
+        // Lock-heavy benchmarks carry many Lock statements; contention-free
+        // ones carry none.
+        let count_locks = |b: Benchmark| -> usize {
+            b.spec(4, Scale::Test).programs[0]
+                .iter()
+                .filter(|s| matches!(s, crate::stmt::FlatStmt::Lock(_)))
+                .count()
+        };
+        assert!(count_locks(Benchmark::Unstructured) >= 32);
+        assert!(count_locks(Benchmark::Fluidanimate) >= 32);
+        assert_eq!(count_locks(Benchmark::Fft), 0);
+        assert_eq!(count_locks(Benchmark::Ocean), 0);
+        assert_eq!(count_locks(Benchmark::Radix), 0);
+        assert_eq!(count_locks(Benchmark::Blackscholes), 0);
+        assert_eq!(count_locks(Benchmark::Swaptions), 0);
+    }
+
+    #[test]
+    fn barrier_styles_match_the_paper() {
+        let count_barriers = |b: Benchmark| -> usize {
+            b.spec(4, Scale::Test).programs[0]
+                .iter()
+                .filter(|s| matches!(s, crate::stmt::FlatStmt::Barrier(_)))
+                .count()
+        };
+        // Phase programs barrier every phase; task programs only at the end.
+        assert!(count_barriers(Benchmark::Ocean) >= 10);
+        assert_eq!(count_barriers(Benchmark::Blackscholes), 1);
+        assert_eq!(count_barriers(Benchmark::Swaptions), 1);
+        assert_eq!(count_barriers(Benchmark::Cholesky), 1);
+    }
+
+    #[test]
+    fn imbalance_rotates_critical_thread() {
+        // For a high-imbalance benchmark, the slowest thread should not be
+        // the same in every phase.
+        let spec = Benchmark::Radix.spec(8, Scale::Test);
+        let mut slowest_per_phase = Vec::new();
+        // Phase k's compute statement is the k-th Compute in each program
+        // (radix has no locks).
+        for phase in 0..5 {
+            let mut worst = (0usize, 0u64);
+            for (tid, prog) in spec.programs.iter().enumerate() {
+                let computes: Vec<u64> = prog
+                    .iter()
+                    .filter_map(|s| match s {
+                        crate::stmt::FlatStmt::Compute { count, .. } => Some(*count),
+                        _ => None,
+                    })
+                    .collect();
+                if computes[phase] > worst.1 {
+                    worst = (tid, computes[phase]);
+                }
+            }
+            slowest_per_phase.push(worst.0);
+        }
+        let unique: std::collections::HashSet<_> = slowest_per_phase.iter().collect();
+        assert!(
+            unique.len() > 1,
+            "critical thread never rotates: {slowest_per_phase:?}"
+        );
+    }
+
+    #[test]
+    fn scale_increases_work() {
+        let small = Benchmark::Fft.spec(4, Scale::Test).total_compute();
+        let big = Benchmark::Fft.spec(4, Scale::Small).total_compute();
+        assert!(big > small * 3);
+        let huge = Benchmark::Fft.spec(4, Scale::Large).total_compute();
+        assert!(huge > big * 3);
+    }
+
+    #[test]
+    fn deviation_is_deterministic_and_bounded() {
+        for b in [Benchmark::Barnes, Benchmark::X264] {
+            for tid in 0..16 {
+                for phase in 0..10 {
+                    let d = deviation(b, tid, phase);
+                    assert!((-1.0..=1.0).contains(&d));
+                    assert_eq!(d, deviation(b, tid, phase));
+                }
+            }
+        }
+    }
+}

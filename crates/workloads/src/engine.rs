@@ -1,0 +1,526 @@
+//! The thread engine: interprets a flattened program as an
+//! [`InstStream`] for one core.
+
+use crate::spec::{LockKind, WorkloadSpec};
+use crate::stmt::FlatStmt;
+use ptb_isa::addr::layout;
+use ptb_isa::{BarrierId, BlockGen, ExecCtx, Fetch, InstStream, RmwToken, StreamEnv};
+use ptb_sync::{BarrierWait, LockAcquire, LockRelease, SyncStep, TicketAcquire, TicketRelease};
+
+/// PC-space conventions for static code regions: compute profiles first,
+/// then one small site per lock and per barrier, so predictor/PTHT entries
+/// are stable per site.
+mod pcs {
+    /// Base of compute-profile code.
+    pub const PROFILE_BASE: u64 = 0x0001_0000;
+    /// Bytes reserved per profile body.
+    pub const PROFILE_STRIDE: u64 = 0x4000;
+    /// Base of lock-site code.
+    pub const LOCK_BASE: u64 = 0x0040_0000;
+    /// Base of barrier-site code.
+    pub const BARRIER_BASE: u64 = 0x0050_0000;
+
+    pub fn profile(p: usize) -> u64 {
+        PROFILE_BASE + p as u64 * PROFILE_STRIDE
+    }
+    pub fn lock(l: usize) -> u64 {
+        LOCK_BASE + l as u64 * 0x100
+    }
+    pub fn barrier(b: usize) -> u64 {
+        BARRIER_BASE + b as u64 * 0x100
+    }
+}
+
+enum Current {
+    Idle,
+    Compute { profile: usize, remaining: u64 },
+    Lock(LockAcquire),
+    Unlock(LockRelease),
+    TicketLock(TicketAcquire),
+    TicketUnlock(TicketRelease),
+    Barrier(BarrierWait),
+}
+
+/// Per-engine execution statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Locks acquired.
+    pub locks_acquired: u64,
+    /// Barriers passed.
+    pub barriers_passed: u64,
+    /// Instructions emitted.
+    pub insts_emitted: u64,
+}
+
+/// One software thread's instruction stream.
+pub struct ThreadEngine {
+    tid: usize,
+    n_threads: u64,
+    program: Vec<FlatStmt>,
+    pos: usize,
+    current: Current,
+    gens: Vec<BlockGen>,
+    token: RmwToken,
+    lock_kind: LockKind,
+    /// Execution statistics.
+    pub stats: EngineStats,
+}
+
+impl ThreadEngine {
+    /// Build thread `tid`'s engine from a workload spec.
+    pub fn new(spec: &WorkloadSpec, tid: usize) -> Self {
+        assert!(tid < spec.n_threads());
+        let gens = spec
+            .profiles
+            .iter()
+            .enumerate()
+            .map(|(p, cfg)| {
+                BlockGen::with_threads(
+                    *cfg,
+                    tid,
+                    spec.n_threads(),
+                    pcs::profile(p),
+                    spec.seed ^ (tid as u64).wrapping_mul(0x9e37_79b9) ^ (p as u64) << 32,
+                )
+            })
+            .collect();
+        ThreadEngine {
+            tid,
+            n_threads: spec.n_threads() as u64,
+            program: spec.programs[tid].clone(),
+            pos: 0,
+            current: Current::Idle,
+            gens,
+            token: RmwToken(tid as u64),
+            lock_kind: spec.lock_kind,
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// The thread id this engine feeds.
+    pub fn tid(&self) -> usize {
+        self.tid
+    }
+
+    /// Has the program fully executed?
+    pub fn finished(&self) -> bool {
+        self.pos >= self.program.len() && matches!(self.current, Current::Idle)
+    }
+
+    fn start(&mut self, stmt: FlatStmt) {
+        self.current = match stmt {
+            FlatStmt::Compute { profile, count } => Current::Compute {
+                profile,
+                remaining: count,
+            },
+            FlatStmt::Lock(l) => match self.lock_kind {
+                LockKind::TestAndSet => Current::Lock(LockAcquire::new(
+                    l,
+                    layout::lock_addr(l.index()),
+                    self.tid as u64 + 1,
+                    pcs::lock(l.index()),
+                    self.token,
+                )),
+                LockKind::Ticket => Current::TicketLock(TicketAcquire::new(
+                    l,
+                    layout::lock_addr(l.index()),
+                    pcs::lock(l.index()),
+                    self.token,
+                )),
+            },
+            FlatStmt::Unlock(l) => match self.lock_kind {
+                LockKind::TestAndSet => Current::Unlock(LockRelease::new(
+                    l,
+                    layout::lock_addr(l.index()),
+                    pcs::lock(l.index()),
+                    self.token,
+                )),
+                LockKind::Ticket => Current::TicketUnlock(TicketRelease::new(
+                    l,
+                    layout::lock_addr(l.index()),
+                    pcs::lock(l.index()),
+                    self.token,
+                )),
+            },
+            FlatStmt::Barrier(b) => Current::Barrier(barrier_wait(b, self.n_threads, self.token)),
+        };
+    }
+}
+
+fn barrier_wait(b: BarrierId, n_threads: u64, token: RmwToken) -> BarrierWait {
+    BarrierWait::new(
+        b,
+        layout::barrier_counter_addr(b.index()),
+        layout::barrier_sense_addr(b.index()),
+        n_threads,
+        pcs::barrier(b.index()),
+        token,
+    )
+}
+
+impl InstStream for ThreadEngine {
+    fn next(&mut self, env: &mut dyn StreamEnv) -> Fetch {
+        loop {
+            match &mut self.current {
+                Current::Idle => {
+                    if self.pos >= self.program.len() {
+                        return Fetch::Done;
+                    }
+                    let stmt = self.program[self.pos];
+                    self.pos += 1;
+                    self.start(stmt);
+                }
+                Current::Compute { profile, remaining } => {
+                    if *remaining == 0 {
+                        self.current = Current::Idle;
+                        continue;
+                    }
+                    *remaining -= 1;
+                    let p = *profile;
+                    self.stats.insts_emitted += 1;
+                    return Fetch::Inst(self.gens[p].next_inst(ExecCtx::BUSY));
+                }
+                Current::Lock(sm) => match sm.next(env) {
+                    SyncStep::Inst(i) => {
+                        self.stats.insts_emitted += 1;
+                        return Fetch::Inst(i);
+                    }
+                    SyncStep::Stall => return Fetch::Stall,
+                    SyncStep::Done => {
+                        self.stats.locks_acquired += 1;
+                        self.current = Current::Idle;
+                    }
+                },
+                Current::Unlock(sm) => match sm.next(env) {
+                    SyncStep::Inst(i) => {
+                        self.stats.insts_emitted += 1;
+                        return Fetch::Inst(i);
+                    }
+                    SyncStep::Stall => return Fetch::Stall,
+                    SyncStep::Done => self.current = Current::Idle,
+                },
+                Current::TicketLock(sm) => match sm.next(env) {
+                    SyncStep::Inst(i) => {
+                        self.stats.insts_emitted += 1;
+                        return Fetch::Inst(i);
+                    }
+                    SyncStep::Stall => return Fetch::Stall,
+                    SyncStep::Done => {
+                        self.stats.locks_acquired += 1;
+                        self.current = Current::Idle;
+                    }
+                },
+                Current::TicketUnlock(sm) => match sm.next(env) {
+                    SyncStep::Inst(i) => {
+                        self.stats.insts_emitted += 1;
+                        return Fetch::Inst(i);
+                    }
+                    SyncStep::Stall => return Fetch::Stall,
+                    SyncStep::Done => self.current = Current::Idle,
+                },
+                Current::Barrier(sm) => match sm.next(env) {
+                    SyncStep::Inst(i) => {
+                        self.stats.insts_emitted += 1;
+                        return Fetch::Inst(i);
+                    }
+                    SyncStep::Stall => return Fetch::Stall,
+                    SyncStep::Done => {
+                        self.stats.barriers_passed += 1;
+                        self.current = Current::Idle;
+                    }
+                },
+            }
+        }
+    }
+
+    fn rmw_result(&mut self, token: RmwToken, old: u64) {
+        match &mut self.current {
+            Current::Lock(sm) => {
+                let acquired = sm.rmw_result(token, old);
+                if acquired {
+                    self.stats.locks_acquired += 1;
+                    self.current = Current::Idle;
+                }
+            }
+            Current::Unlock(sm) => {
+                sm.rmw_result(token, old);
+                self.current = Current::Idle;
+            }
+            Current::TicketLock(sm) => {
+                sm.rmw_result(token, old);
+                // The fetch-add draws the ticket; acquisition completes in
+                // the poll loop via next().
+            }
+            Current::TicketUnlock(sm) => {
+                sm.rmw_result(token, old);
+                self.current = Current::Idle;
+            }
+            Current::Barrier(sm) => {
+                sm.rmw_result(token, old);
+                if sm.is_done() {
+                    self.stats.barriers_passed += 1;
+                    self.current = Current::Idle;
+                }
+            }
+            _ => unreachable!("rmw_result with no sync operation in flight"),
+        }
+    }
+
+    fn rewind(&mut self, _n: usize) {
+        // The core model never fetches down a wrong path (mispredictions
+        // stall fetch until redirect), so streams are never rewound.
+        unreachable!("ThreadEngine does not support rewind");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stmt::{flatten, Stmt};
+    use ptb_isa::{BlockGenConfig, LockId, OpKind};
+    use ptb_sync::SyncFabric;
+
+    /// Functional mini-interpreter: runs engines round-robin against a
+    /// fabric, applying RMWs immediately. Returns per-thread instruction
+    /// counts.
+    fn run_functional(spec: &WorkloadSpec, max_steps: usize) -> Vec<EngineStats> {
+        struct Env<'a> {
+            fabric: &'a SyncFabric,
+            cycle: u64,
+        }
+        impl StreamEnv for Env<'_> {
+            fn read_sync_word(&self, addr: ptb_isa::Addr) -> u64 {
+                self.fabric.read(addr)
+            }
+            fn now(&self) -> u64 {
+                self.cycle
+            }
+        }
+        let mut fabric = SyncFabric::new();
+        let mut engines = spec.engines();
+        for step in 0..max_steps {
+            let i = step % engines.len();
+            if engines[i].finished() {
+                if engines.iter().all(|e| e.finished()) {
+                    break;
+                }
+                continue;
+            }
+            let f = {
+                let mut env = Env {
+                    fabric: &fabric,
+                    cycle: step as u64,
+                };
+                engines[i].next(&mut env)
+            };
+            match f {
+                Fetch::Inst(inst) => {
+                    assert!(inst.validate().is_ok());
+                    if let Some(rmw) = inst.rmw {
+                        let old = fabric.execute(rmw.op, inst.mem.unwrap().addr, rmw.operand);
+                        engines[i].rmw_result(rmw.token, old);
+                    }
+                }
+                Fetch::Stall | Fetch::Done => {}
+            }
+        }
+        assert!(
+            engines.iter().all(|e| e.finished()),
+            "functional run did not finish"
+        );
+        engines.iter().map(|e| e.stats).collect()
+    }
+
+    fn spec(n: usize, body: &[Stmt]) -> WorkloadSpec {
+        WorkloadSpec {
+            name: "test".into(),
+            programs: (0..n).map(|_| flatten(body)).collect(),
+            profiles: vec![BlockGenConfig {
+                static_len: 16,
+                ..Default::default()
+            }],
+            seed: 3,
+            lock_kind: Default::default(),
+        }
+    }
+
+    #[test]
+    fn pure_compute_emits_exactly_count() {
+        let s = spec(
+            1,
+            &[Stmt::Compute {
+                profile: 0,
+                count: 100,
+            }],
+        );
+        let stats = run_functional(&s, 10_000);
+        assert_eq!(stats[0].insts_emitted, 100);
+    }
+
+    #[test]
+    fn lock_critical_section_completes_for_all_threads() {
+        let s = spec(
+            4,
+            &[Stmt::Repeat {
+                times: 3,
+                body: vec![
+                    Stmt::Lock(LockId(0)),
+                    Stmt::Compute {
+                        profile: 0,
+                        count: 5,
+                    },
+                    Stmt::Unlock(LockId(0)),
+                ],
+            }],
+        );
+        let stats = run_functional(&s, 1_000_000);
+        for st in &stats {
+            assert_eq!(st.locks_acquired, 3);
+        }
+    }
+
+    #[test]
+    fn barrier_program_completes_and_counts() {
+        let s = spec(
+            4,
+            &[Stmt::Repeat {
+                times: 2,
+                body: vec![
+                    Stmt::Compute {
+                        profile: 0,
+                        count: 20,
+                    },
+                    Stmt::Barrier(BarrierId(0)),
+                ],
+            }],
+        );
+        let stats = run_functional(&s, 1_000_000);
+        for st in &stats {
+            assert_eq!(st.barriers_passed, 2);
+        }
+    }
+
+    #[test]
+    fn mixed_program_with_multiple_locks() {
+        let s = spec(
+            3,
+            &[
+                Stmt::Compute {
+                    profile: 0,
+                    count: 10,
+                },
+                Stmt::Lock(LockId(1)),
+                Stmt::Compute {
+                    profile: 0,
+                    count: 2,
+                },
+                Stmt::Unlock(LockId(1)),
+                Stmt::Lock(LockId(2)),
+                Stmt::Compute {
+                    profile: 0,
+                    count: 2,
+                },
+                Stmt::Unlock(LockId(2)),
+                Stmt::Barrier(BarrierId(1)),
+            ],
+        );
+        let stats = run_functional(&s, 1_000_000);
+        for st in &stats {
+            assert_eq!(st.locks_acquired, 2);
+            assert_eq!(st.barriers_passed, 1);
+        }
+    }
+
+    #[test]
+    fn deterministic_instruction_streams() {
+        let s = spec(
+            2,
+            &[Stmt::Compute {
+                profile: 0,
+                count: 50,
+            }],
+        );
+        let collect = |spec: &WorkloadSpec| -> Vec<OpKind> {
+            let mut engines = spec.engines();
+            let fabric = SyncFabric::new();
+            struct Env<'a> {
+                fabric: &'a SyncFabric,
+            }
+            impl StreamEnv for Env<'_> {
+                fn read_sync_word(&self, addr: ptb_isa::Addr) -> u64 {
+                    self.fabric.read(addr)
+                }
+                fn now(&self) -> u64 {
+                    0
+                }
+            }
+            let mut out = Vec::new();
+            let mut env = Env { fabric: &fabric };
+            while let Fetch::Inst(i) = engines[0].next(&mut env) {
+                out.push(i.kind);
+            }
+            out
+        };
+        assert_eq!(collect(&s), collect(&s));
+    }
+
+    #[test]
+    fn ticket_lock_workload_completes_functionally() {
+        use crate::spec::LockKind;
+        let mut s = spec(
+            3,
+            &[Stmt::Repeat {
+                times: 2,
+                body: vec![
+                    Stmt::Lock(LockId(0)),
+                    Stmt::Compute { profile: 0, count: 4 },
+                    Stmt::Unlock(LockId(0)),
+                ],
+            }],
+        );
+        s.lock_kind = LockKind::Ticket;
+        let stats = run_functional(&s, 1_000_000);
+        for st in &stats {
+            assert_eq!(st.locks_acquired, 2);
+        }
+    }
+
+    #[test]
+    fn engines_for_different_threads_use_disjoint_private_regions() {
+        let s = spec(
+            2,
+            &[Stmt::Compute {
+                profile: 0,
+                count: 200,
+            }],
+        );
+        let mut engines = s.engines();
+        let fabric = SyncFabric::new();
+        struct Env<'a> {
+            fabric: &'a SyncFabric,
+        }
+        impl StreamEnv for Env<'_> {
+            fn read_sync_word(&self, addr: ptb_isa::Addr) -> u64 {
+                self.fabric.read(addr)
+            }
+            fn now(&self) -> u64 {
+                0
+            }
+        }
+        let mut env = Env { fabric: &fabric };
+        let mut privates: Vec<Vec<u64>> = vec![Vec::new(), Vec::new()];
+        for t in 0..2 {
+            while let Fetch::Inst(i) = engines[t].next(&mut env) {
+                if let Some(m) = i.mem {
+                    if m.addr.0 >= layout::PRIVATE_BASE.0 {
+                        privates[t].push(m.addr.0);
+                    }
+                }
+            }
+        }
+        assert!(!privates[0].is_empty() && !privates[1].is_empty());
+        let max0 = privates[0].iter().max().unwrap();
+        let min1 = privates[1].iter().min().unwrap();
+        assert!(max0 < min1, "thread privates overlap");
+    }
+}

@@ -1,0 +1,152 @@
+//! Workload specifications: per-thread programs plus compute profiles.
+
+use crate::engine::ThreadEngine;
+use crate::stmt::{self, FlatStmt};
+use ptb_isa::BlockGenConfig;
+use serde::{Deserialize, Serialize};
+
+/// Which spinlock implementation `Lock`/`Unlock` statements use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum LockKind {
+    /// Test-and-test-and-set (default; SPLASH-2's common case).
+    #[default]
+    TestAndSet,
+    /// FIFO ticket lock (fair; used by task-queue style programs).
+    Ticket,
+}
+
+/// Input-set scale, analogous to the paper's Table 2 working sets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Scale {
+    /// Tiny runs for unit/integration tests (thousands of instructions).
+    Test,
+    /// Default experiment scale (hundreds of thousands of instructions).
+    Small,
+    /// Longer runs for detailed traces.
+    Large,
+}
+
+impl Scale {
+    /// Multiplier applied to compute-block instruction counts.
+    pub fn factor(self) -> u64 {
+        match self {
+            Scale::Test => 1,
+            Scale::Small => 4,
+            Scale::Large => 16,
+        }
+    }
+}
+
+/// A complete workload: one flattened program per thread plus the compute
+/// profiles they reference.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Benchmark name (Table 2 spelling).
+    pub name: String,
+    /// One program per thread.
+    pub programs: Vec<Vec<FlatStmt>>,
+    /// Compute-block profiles referenced by the programs.
+    pub profiles: Vec<BlockGenConfig>,
+    /// Base RNG seed (per-thread engines derive from it).
+    pub seed: u64,
+    /// Spinlock implementation for this workload.
+    #[serde(default)]
+    pub lock_kind: LockKind,
+}
+
+impl WorkloadSpec {
+    /// Number of threads.
+    pub fn n_threads(&self) -> usize {
+        self.programs.len()
+    }
+
+    /// Validate every thread's program; returns all problems found.
+    pub fn validate(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        for (tid, prog) in self.programs.iter().enumerate() {
+            for p in stmt::validate(prog) {
+                problems.push(format!("thread {tid}: {p}"));
+            }
+            for s in prog {
+                if let FlatStmt::Compute { profile, .. } = s {
+                    if *profile >= self.profiles.len() {
+                        problems.push(format!("thread {tid}: profile {profile} out of range"));
+                    }
+                }
+            }
+        }
+        problems
+    }
+
+    /// Total dynamic compute instructions across all threads.
+    pub fn total_compute(&self) -> u64 {
+        self.programs
+            .iter()
+            .map(|p| stmt::compute_instructions(p))
+            .sum()
+    }
+
+    /// Build one instruction-stream engine per thread.
+    pub fn engines(&self) -> Vec<ThreadEngine> {
+        (0..self.n_threads())
+            .map(|tid| ThreadEngine::new(self, tid))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stmt::Stmt;
+    use ptb_isa::LockId;
+
+    fn tiny_spec() -> WorkloadSpec {
+        WorkloadSpec {
+            name: "tiny".into(),
+            programs: vec![stmt::flatten(&[
+                Stmt::Compute {
+                    profile: 0,
+                    count: 10,
+                },
+                Stmt::Lock(LockId(0)),
+                Stmt::Compute {
+                    profile: 0,
+                    count: 2,
+                },
+                Stmt::Unlock(LockId(0)),
+            ])],
+            profiles: vec![BlockGenConfig::default()],
+            seed: 7,
+            lock_kind: LockKind::default(),
+        }
+    }
+
+    #[test]
+    fn valid_spec_passes() {
+        assert!(tiny_spec().validate().is_empty());
+    }
+
+    #[test]
+    fn out_of_range_profile_is_caught() {
+        let mut s = tiny_spec();
+        s.programs[0].push(FlatStmt::Compute {
+            profile: 5,
+            count: 1,
+        });
+        assert!(!s.validate().is_empty());
+    }
+
+    #[test]
+    fn totals_and_engines() {
+        let s = tiny_spec();
+        assert_eq!(s.total_compute(), 12);
+        assert_eq!(s.engines().len(), 1);
+        assert_eq!(s.n_threads(), 1);
+    }
+
+    #[test]
+    fn scale_factors_are_ordered() {
+        assert!(Scale::Test.factor() < Scale::Small.factor());
+        assert!(Scale::Small.factor() < Scale::Large.factor());
+    }
+}

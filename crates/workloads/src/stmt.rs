@@ -1,0 +1,199 @@
+//! The workload statement IR.
+
+use ptb_isa::{BarrierId, LockId};
+use serde::{Deserialize, Serialize};
+
+/// A structured workload statement (builder-facing).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Stmt {
+    /// Execute `count` instructions from compute profile `profile`.
+    Compute {
+        /// Index into the workload's profile table.
+        profile: usize,
+        /// Dynamic instruction count.
+        count: u64,
+    },
+    /// Acquire a spinlock (spins until owned).
+    Lock(LockId),
+    /// Release a held spinlock.
+    Unlock(LockId),
+    /// Wait at a barrier with all the workload's threads.
+    Barrier(BarrierId),
+    /// Repeat `body` `times` times.
+    Repeat {
+        /// Iteration count.
+        times: u32,
+        /// Statements to repeat.
+        body: Vec<Stmt>,
+    },
+}
+
+/// A flattened (loop-expanded) statement, as executed by the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FlatStmt {
+    /// Execute `count` instructions from profile `profile`.
+    Compute {
+        /// Profile index.
+        profile: usize,
+        /// Instruction count.
+        count: u64,
+    },
+    /// Acquire a lock.
+    Lock(LockId),
+    /// Release a lock.
+    Unlock(LockId),
+    /// Barrier wait.
+    Barrier(BarrierId),
+}
+
+/// Flatten a structured program, expanding `Repeat` bodies.
+pub fn flatten(stmts: &[Stmt]) -> Vec<FlatStmt> {
+    let mut out = Vec::new();
+    flatten_into(stmts, &mut out);
+    out
+}
+
+fn flatten_into(stmts: &[Stmt], out: &mut Vec<FlatStmt>) {
+    for s in stmts {
+        match s {
+            Stmt::Compute { profile, count } => out.push(FlatStmt::Compute {
+                profile: *profile,
+                count: *count,
+            }),
+            Stmt::Lock(l) => out.push(FlatStmt::Lock(*l)),
+            Stmt::Unlock(l) => out.push(FlatStmt::Unlock(*l)),
+            Stmt::Barrier(b) => out.push(FlatStmt::Barrier(*b)),
+            Stmt::Repeat { times, body } => {
+                for _ in 0..*times {
+                    flatten_into(body, out);
+                }
+            }
+        }
+    }
+}
+
+/// Static sanity checks on a flattened program: lock/unlock pairing and
+/// no nested acquisition of the same lock. Returns the list of problems.
+pub fn validate(flat: &[FlatStmt]) -> Vec<String> {
+    let mut problems = Vec::new();
+    let mut held: Vec<LockId> = Vec::new();
+    for (i, s) in flat.iter().enumerate() {
+        match s {
+            FlatStmt::Lock(l) => {
+                if held.contains(l) {
+                    problems.push(format!("stmt {i}: lock {l} acquired while held"));
+                }
+                held.push(*l);
+            }
+            FlatStmt::Unlock(l) => {
+                if let Some(pos) = held.iter().position(|h| h == l) {
+                    held.remove(pos);
+                } else {
+                    problems.push(format!("stmt {i}: unlock of unheld lock {l}"));
+                }
+            }
+            FlatStmt::Barrier(_) => {
+                if !held.is_empty() {
+                    problems.push(format!("stmt {i}: barrier while holding {held:?}"));
+                }
+            }
+            FlatStmt::Compute { count, .. } => {
+                if *count == 0 {
+                    problems.push(format!("stmt {i}: empty compute block"));
+                }
+            }
+        }
+    }
+    if !held.is_empty() {
+        problems.push(format!("program ends holding {held:?}"));
+    }
+    problems
+}
+
+/// Total dynamic compute instructions in a flattened program.
+pub fn compute_instructions(flat: &[FlatStmt]) -> u64 {
+    flat.iter()
+        .map(|s| match s {
+            FlatStmt::Compute { count, .. } => *count,
+            _ => 0,
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flatten_expands_nested_repeats() {
+        let prog = vec![Stmt::Repeat {
+            times: 2,
+            body: vec![
+                Stmt::Compute {
+                    profile: 0,
+                    count: 10,
+                },
+                Stmt::Repeat {
+                    times: 3,
+                    body: vec![Stmt::Barrier(BarrierId(0))],
+                },
+            ],
+        }];
+        let flat = flatten(&prog);
+        assert_eq!(flat.len(), 2 * (1 + 3));
+        assert_eq!(compute_instructions(&flat), 20);
+    }
+
+    #[test]
+    fn validate_accepts_well_formed_program() {
+        let flat = flatten(&[
+            Stmt::Compute {
+                profile: 0,
+                count: 5,
+            },
+            Stmt::Lock(LockId(1)),
+            Stmt::Compute {
+                profile: 1,
+                count: 3,
+            },
+            Stmt::Unlock(LockId(1)),
+            Stmt::Barrier(BarrierId(0)),
+        ]);
+        assert!(validate(&flat).is_empty());
+    }
+
+    #[test]
+    fn validate_catches_unlock_without_lock() {
+        let flat = flatten(&[Stmt::Unlock(LockId(0))]);
+        assert_eq!(validate(&flat).len(), 1);
+    }
+
+    #[test]
+    fn validate_catches_double_lock_and_leak() {
+        let flat = flatten(&[Stmt::Lock(LockId(0)), Stmt::Lock(LockId(0))]);
+        let probs = validate(&flat);
+        assert!(probs.iter().any(|p| p.contains("while held")));
+        assert!(probs.iter().any(|p| p.contains("ends holding")));
+    }
+
+    #[test]
+    fn validate_catches_barrier_under_lock() {
+        let flat = flatten(&[
+            Stmt::Lock(LockId(0)),
+            Stmt::Barrier(BarrierId(0)),
+            Stmt::Unlock(LockId(0)),
+        ]);
+        assert!(validate(&flat)
+            .iter()
+            .any(|p| p.contains("barrier while holding")));
+    }
+
+    #[test]
+    fn validate_catches_empty_compute() {
+        let flat = flatten(&[Stmt::Compute {
+            profile: 0,
+            count: 0,
+        }]);
+        assert_eq!(validate(&flat).len(), 1);
+    }
+}

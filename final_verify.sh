@@ -1,0 +1,7 @@
+#!/bin/sh
+# Final verification pass: full test suite + benches, logs kept in-repo.
+set -x
+cd /root/repo
+cargo test --workspace 2>&1 | tee /root/repo/test_output.txt
+cargo bench --workspace 2>&1 | tee /root/repo/bench_output.txt
+echo FINAL_VERIFY_DONE

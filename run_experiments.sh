@@ -1,0 +1,22 @@
+#!/bin/sh
+# Regenerates every paper artefact. PTB_SCALE=small is the recorded scale.
+set -x
+cd /root/repo
+export PTB_SCALE=small PTB_OUT=target/figures PTB_JOBS=1
+B=./target/release
+$B/show_config
+$B/tdp_packing
+$B/fig07_token_flow
+$B/fig06_spin_trace
+$B/fig05_power_trace
+$B/fig02_naive_budget
+$B/fig03_breakdown
+$B/fig04_spin_power
+$B/fig10_detail_toall
+$B/fig11_detail_toone
+$B/fig12_dynamic
+$B/fig13_performance
+$B/fig09_scaling
+$B/fig14_relaxed
+$B/ext_future_work
+echo ALL_FIGURES_DONE
