@@ -1,0 +1,63 @@
+//! Cost of the observability layer: the same simulation run through
+//! `run` (NullObserver — every hook compiles out), through a full
+//! `ObsStack`, and through the stack plus phase timing. The first two
+//! should be indistinguishable (the "zero cost when off" claim: the
+//! NullObserver path is required to stay within noise, < 2 %, of the
+//! plain loop); the profiled run pays for its `Instant::now` calls.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ptb_core::{MechanismKind, PtbPolicy, SimConfig, Simulation};
+use ptb_obs::ObsStack;
+use ptb_workloads::{Benchmark, Scale};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn sim() -> Simulation {
+    Simulation::new(SimConfig {
+        n_cores: 4,
+        scale: Scale::Test,
+        mechanism: MechanismKind::PtbTwoLevel {
+            policy: PtbPolicy::ToAll,
+            relax: 0.0,
+        },
+        ..SimConfig::default()
+    })
+}
+
+fn bench_obs_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("obs_overhead");
+    g.sample_size(10).measurement_time(Duration::from_secs(20));
+
+    g.bench_function("null_observer", |b| {
+        let s = sim();
+        b.iter(|| black_box(s.run(Benchmark::Fft).expect("run")));
+    });
+
+    g.bench_function("full_stack", |b| {
+        let s = sim();
+        b.iter(|| {
+            let mut stack = ObsStack::new()
+                .with_recorder(1 << 16)
+                .with_counters()
+                .with_audit(64);
+            black_box(s.run_observed(Benchmark::Fft, &mut stack).expect("run"))
+        });
+    });
+
+    g.bench_function("full_stack_profiled", |b| {
+        let s = sim();
+        b.iter(|| {
+            let mut stack = ObsStack::new()
+                .with_recorder(1 << 16)
+                .with_counters()
+                .with_audit(64)
+                .with_profiler();
+            black_box(s.run_observed(Benchmark::Fft, &mut stack).expect("run"))
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_obs_overhead);
+criterion_main!(benches);

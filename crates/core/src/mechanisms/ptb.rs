@@ -90,7 +90,7 @@ impl PtbMechanism {
             in_flight: VecDeque::new(),
             pledged: vec![0.0; n],
             arrived: vec![0.0; n],
-            last_land: vec![0; (n + cluster - 1) / cluster],
+            last_land: vec![0; n.div_ceil(cluster)],
             active: false,
             uncore: UncoreEma::default(),
             last_policy: match policy {

@@ -64,6 +64,11 @@ pub struct RunReport {
     pub cores: Vec<CoreReport>,
     /// Optional power trace.
     pub trace: Option<PowerTrace>,
+    /// Additional named metrics contributed by observers (counter
+    /// registries, phase profiles); empty for unobserved runs. Absent
+    /// in reports serialized before this field existed.
+    #[serde(default)]
+    pub extra_metrics: std::collections::BTreeMap<String, f64>,
 }
 
 impl RunReport {
@@ -155,6 +160,7 @@ mod tests {
             mean_power: 0.0,
             power_stddev: 0.0,
             cycles_over_budget: cycles / 2,
+            extra_metrics: std::collections::BTreeMap::new(),
             max_temp_c: 70.0,
             mean_temp_c: 60.0,
             temp_stddev_c: 1.0,

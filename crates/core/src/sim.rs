@@ -9,6 +9,7 @@ use crate::report::{CoreReport, RunReport};
 use crate::trace::PowerTrace;
 use ptb_isa::{Addr, CoreId, CtxState, InstStream, StreamEnv};
 use ptb_mem::{AccessKind, MemReq, MemorySystem};
+use ptb_obs::{MemPulse, NullObserver, Phase, RunEnd, RunMeta, SimObserver, SpinKind, ThrottleObs};
 use ptb_power::{
     core_cycle_tokens, uncore_cycle_tokens, ChipEnergy, CoreActivity, DvfsMode, PowerSample,
     ThermalModel, UncoreActivity,
@@ -16,6 +17,8 @@ use ptb_power::{
 use ptb_sync::SyncFabric;
 use ptb_uarch::{Core, CoreMemKind, CoreMemReq, RmwExec};
 use ptb_workloads::{Benchmark, ThreadEngine, WorkloadSpec};
+use std::collections::VecDeque;
+use std::time::Instant;
 
 /// Simulation failure modes.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -46,6 +49,14 @@ impl std::fmt::Display for SimError {
 }
 
 impl std::error::Error for SimError {}
+
+/// Record the time elapsed since `start` against `phase`; returns the
+/// new phase start. Only called on the `wants_phase_timing` path.
+fn phase_mark<O: SimObserver>(obs: &mut O, phase: Phase, start: Instant) -> Instant {
+    let now = Instant::now();
+    obs.on_phase_time(phase, now.duration_since(start).as_nanos() as u64);
+    now
+}
 
 /// A configured simulation, ready to run workloads.
 pub struct Simulation {
@@ -79,12 +90,40 @@ impl Simulation {
 
     /// Build and run `bench` at the configured scale and core count.
     pub fn run(&self, bench: Benchmark) -> Result<RunReport, SimError> {
+        self.run_observed(bench, &mut NullObserver)
+    }
+
+    /// Build and run `bench` while streaming simulation events to `obs`.
+    ///
+    /// See [`Simulation::run_spec_observed`] for the cost model.
+    pub fn run_observed<O: SimObserver>(
+        &self,
+        bench: Benchmark,
+        obs: &mut O,
+    ) -> Result<RunReport, SimError> {
         let spec = bench.spec(self.cfg.n_cores, self.cfg.scale);
-        self.run_spec(&spec)
+        self.run_spec_observed(&spec, obs)
     }
 
     /// Run a custom workload spec (must have one thread per core).
     pub fn run_spec(&self, spec: &WorkloadSpec) -> Result<RunReport, SimError> {
+        self.run_spec_observed(spec, &mut NullObserver)
+    }
+
+    /// Run a custom workload spec while streaming simulation events to
+    /// `obs`.
+    ///
+    /// Every hook site is guarded by the associated `const`
+    /// [`SimObserver::ENABLED`], so the monomorphised [`NullObserver`]
+    /// instantiation is the plain unobserved simulator loop — the hooks
+    /// and their bookkeeping compile away entirely. Wall-clock phase
+    /// timing costs a few `Instant::now` calls per simulated cycle and
+    /// is measured only when `obs.wants_phase_timing()` returns true.
+    pub fn run_spec_observed<O: SimObserver>(
+        &self,
+        spec: &WorkloadSpec,
+        obs: &mut O,
+    ) -> Result<RunReport, SimError> {
         let n = self.cfg.n_cores;
         if spec.n_threads() != n {
             return Err(SimError::BadWorkload(format!(
@@ -132,11 +171,29 @@ impl Simulation {
         let mut thermal_acc = vec![0.0f64; n];
         let mut thermal_watts = vec![0.0f64; n];
 
-        let mut retry: Vec<Vec<CoreMemReq>> = vec![Vec::new(); n];
+        // Backpressure retry queues are front-popped on acceptance, so a
+        // deque keeps the drain O(1) per request instead of Vec::remove(0)
+        // shifting the whole queue.
+        let mut retry: Vec<VecDeque<CoreMemReq>> = vec![VecDeque::new(); n];
         let mut mem_buf: Vec<CoreMemReq> = Vec::new();
         let mut rmw_buf: Vec<RmwExec> = Vec::new();
         let mut tokens = vec![0.0f64; n];
         let mut obs_buf: Vec<CoreObs> = Vec::with_capacity(n);
+
+        // Observer-only state; dead (and optimised out) under NullObserver.
+        let profile = O::ENABLED && obs.wants_phase_timing();
+        let mut was_spinning = vec![false; n];
+        let mut prev_mem = mem.stats().totals();
+        if O::ENABLED {
+            obs.on_run_start(&RunMeta {
+                benchmark: spec.name.clone(),
+                mechanism: mechanism.name(),
+                n_cores: n,
+                freq_hz: params.freq_hz,
+                budget_tokens: budget.global,
+            });
+        }
+        let mut phase_t = Instant::now();
 
         let mut cycle: u64 = 0;
         loop {
@@ -150,9 +207,15 @@ impl Simulation {
             }
 
             // 1. Memory system advances; completions reach the cores.
+            if profile {
+                phase_t = Instant::now();
+            }
             mem.tick();
             for resp in mem.drain_responses() {
                 cores[resp.core.index()].mem_response(resp.id);
+            }
+            if profile {
+                phase_t = phase_mark(obs, Phase::MemTick, phase_t);
             }
 
             // 2. Atomic RMWs whose ownership landed execute functionally,
@@ -192,8 +255,8 @@ impl Simulation {
                 // input-queue backpressure).
                 mem_buf.clear();
                 cores[c].drain_mem_requests(&mut mem_buf);
-                retry[c].append(&mut mem_buf);
-                while let Some(req) = retry[c].first().copied() {
+                retry[c].extend(mem_buf.drain(..));
+                while let Some(req) = retry[c].front().copied() {
                     let accepted = mem.request(MemReq {
                         id: req.id,
                         core: CoreId(c),
@@ -205,15 +268,37 @@ impl Simulation {
                         addr: req.addr,
                     });
                     if accepted {
-                        retry[c].remove(0);
+                        retry[c].pop_front();
                     } else {
+                        if O::ENABLED {
+                            obs.on_mem_retry(cycle, c);
+                        }
                         break;
                     }
                 }
             }
+            if profile {
+                phase_t = phase_mark(obs, Phase::CoreTick, phase_t);
+            }
 
             // 4. Power sample for this cycle.
             let mem_act = mem.take_activity();
+            if O::ENABLED {
+                let totals = mem.stats().totals();
+                let pulse = MemPulse {
+                    l1_accesses: mem_act.l1_accesses,
+                    l2_accesses: mem_act.l2_accesses,
+                    noc_flit_hops: mem_act.noc_flit_hops,
+                    mem_accesses: mem_act.mem_accesses,
+                    l1_misses: totals.l1_misses - prev_mem.l1_misses,
+                    l2_misses: totals.l2_misses - prev_mem.l2_misses,
+                    invalidations: totals.invalidations_received - prev_mem.invalidations_received,
+                };
+                prev_mem = totals;
+                if !pulse.is_empty() {
+                    obs.on_mem_pulse(cycle, &pulse);
+                }
+            }
             let uncore = uncore_cycle_tokens(
                 params,
                 &UncoreActivity {
@@ -228,6 +313,9 @@ impl Simulation {
                 uncore,
             };
             let chip = sample.chip();
+            if O::ENABLED {
+                obs.on_cycle(cycle, &tokens, uncore, chip);
+            }
             energy.add(&sample);
             if chip > budget.global {
                 aopb_tokens += chip - budget.global;
@@ -246,6 +334,9 @@ impl Simulation {
                 }
                 thermal.step(&thermal_watts);
             }
+            if profile {
+                phase_t = phase_mark(obs, Phase::PowerSample, phase_t);
+            }
 
             // 5. Context/breakdown accounting.
             let mut all_done = true;
@@ -255,6 +346,19 @@ impl Simulation {
                 if !done {
                     let ctx = cores[c].current_ctx();
                     ctx_cycles[c][ctx.state.bucket()] += 1;
+                    if O::ENABLED && ctx.spinning != was_spinning[c] {
+                        was_spinning[c] = ctx.spinning;
+                        if ctx.spinning {
+                            let kind = match ctx.state {
+                                CtxState::LockAcq(_) | CtxState::LockRel(_) => SpinKind::Lock,
+                                CtxState::Barrier(_) => SpinKind::Barrier,
+                                CtxState::Busy => SpinKind::Other,
+                            };
+                            obs.on_spin_enter(cycle, c, kind);
+                        } else {
+                            obs.on_spin_exit(cycle, c);
+                        }
+                    }
                     if ctx.spinning {
                         spin_cycles[c] += 1;
                         // "Power wasted while spinning" (Figure 4) is the
@@ -264,6 +368,10 @@ impl Simulation {
                             - params.core_leakage * current_mode[c].leakage_scale())
                         .max(0.0);
                     }
+                } else if O::ENABLED && was_spinning[c] {
+                    // A core that finishes mid-spin still closes its span.
+                    was_spinning[c] = false;
+                    obs.on_spin_exit(cycle, c);
                 }
             }
 
@@ -276,24 +384,50 @@ impl Simulation {
                     done: cores[c].is_done(),
                 });
             }
-            let obs = ChipObs {
+            let chip_obs = ChipObs {
                 cycle,
                 chip_tokens: chip,
                 uncore_tokens: uncore,
                 cores: &obs_buf,
             };
-            mechanism.control(&obs, &budget, &mut actions);
+            mechanism.control(&chip_obs, &budget, &mut actions);
             for c in 0..n {
                 if actions[c].mode != current_mode[c] {
-                    transition[c] += DvfsMode::transition_cycles(current_mode[c], actions[c].mode);
+                    let stall = DvfsMode::transition_cycles(current_mode[c], actions[c].mode);
+                    transition[c] += stall;
                     current_mode[c] = actions[c].mode;
+                    if O::ENABLED {
+                        obs.on_dvfs_change(cycle, c, current_mode[c].v, current_mode[c].f, stall);
+                    }
+                }
+                if O::ENABLED && cores[c].throttle != actions[c].throttle {
+                    let th = actions[c].throttle;
+                    obs.on_throttle_change(
+                        cycle,
+                        c,
+                        ThrottleObs {
+                            fetch_every: th.fetch_every,
+                            issue_width: th.issue_width,
+                            rob_cap: th.rob_cap,
+                        },
+                    );
                 }
                 cores[c].throttle = actions[c].throttle;
+            }
+            if profile {
+                phase_t = phase_mark(obs, Phase::Mechanism, phase_t);
             }
 
             if all_done {
                 break;
             }
+        }
+
+        if O::ENABLED {
+            obs.on_run_end(&RunEnd {
+                cycles: cycle,
+                energy_tokens: energy.total,
+            });
         }
 
         // Assemble the report.
@@ -326,6 +460,7 @@ impl Simulation {
             temp_stddev_c: thermal.mean_stddev(),
             cores: core_reports,
             trace,
+            extra_metrics: std::collections::BTreeMap::new(),
         })
     }
 }

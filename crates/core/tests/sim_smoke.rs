@@ -204,5 +204,8 @@ fn budget_fraction_changes_the_budget() {
     let rt = Simulation::new(tight).run(Benchmark::X264).expect("run");
     let rl = Simulation::new(loose).run(Benchmark::X264).expect("run");
     assert!(rt.budget.global < rl.budget.global);
-    assert!(rt.aopb_tokens >= rl.aopb_tokens, "tighter budget cannot have less overage");
+    assert!(
+        rt.aopb_tokens >= rl.aopb_tokens,
+        "tighter budget cannot have less overage"
+    );
 }

@@ -1,14 +1,19 @@
 //! Quick probe: run one benchmark at one core count under every
 //! mechanism and print the headline metrics (used for calibration and as
-//! a smoke check before long sweeps). Args: `bench_one [benchmark] [cores]`.
+//! a smoke check before long sweeps).
+//!
+//! Args: `bench_one [benchmark] [cores]`, plus the shared observability
+//! flags (`--trace-out`, `--metrics-out`, `--profile`, `--audit` — see
+//! `ptb_experiments::obs`), which apply to the baseline run.
 
 use ptb_core::report::{normalized_aopb_pct, normalized_energy_pct, slowdown_pct};
 use ptb_core::{MechanismKind, PtbPolicy};
-use ptb_experiments::{Job, Runner};
+use ptb_experiments::{Job, ObsArgs, Runner};
 use ptb_workloads::Benchmark;
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
+    let mut args: Vec<String> = std::env::args().collect();
+    let obs = ObsArgs::parse(&mut args);
     let bench = args
         .get(1)
         .and_then(|s| Benchmark::from_name(s))
@@ -16,7 +21,7 @@ fn main() {
     let cores = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(16);
     let runner = Runner::from_env();
     let t0 = std::time::Instant::now();
-    let base = runner.run_one(Job::new(bench, MechanismKind::None, cores));
+    let base = obs.run_one(&runner, Job::new(bench, MechanismKind::None, cores));
     let dt = t0.elapsed();
     println!(
         "{} {}c base: {} cycles, {} committed, {:.2}s wall, {:.2} Mcycles/s, mean power {:.0} (budget {:.0}), over-budget {:.0}%, spin-power {:.1}%",

@@ -3,14 +3,18 @@
 //! sit under their local share, so a global mechanism can rebalance).
 //!
 //! Prints a window of the trace as (cycle, chip power, per-core power,
-//! budget) rows; the CSV holds the full captured window.
+//! budget) rows; the CSV holds the full captured window. Accepts the
+//! shared observability flags (`--trace-out`, `--metrics-out`,
+//! `--profile`, `--audit` — see `ptb_experiments::obs`).
 
 use ptb_core::{MechanismKind, SimConfig, Simulation};
-use ptb_experiments::{emit, Runner};
+use ptb_experiments::{emit, ObsArgs, Runner};
 use ptb_metrics::{Histogram, Table};
 use ptb_workloads::Benchmark;
 
 fn main() {
+    let mut args: Vec<String> = std::env::args().collect();
+    let obs = ObsArgs::parse(&mut args);
     let runner = Runner::from_env();
     let n = 4; // small CMP so per-core curves are readable, as in Fig. 5
     let cfg = SimConfig {
@@ -20,7 +24,17 @@ fn main() {
         capture_trace: true,
         ..SimConfig::default()
     };
-    let report = Simulation::new(cfg).run(Benchmark::Barnes).expect("run");
+    let report = if obs.enabled() {
+        let mut stack = obs.stack();
+        let mut r = Simulation::new(cfg)
+            .run_observed(Benchmark::Barnes, &mut stack)
+            .expect("run");
+        stack.merge_extra_metrics(&mut r.extra_metrics);
+        obs.finish(&stack);
+        r
+    } else {
+        Simulation::new(cfg).run(Benchmark::Barnes).expect("run")
+    };
     let trace = report.trace.as_ref().expect("trace captured");
 
     let mut headers: Vec<String> = vec!["cycle".into(), "chip".into(), "budget".into()];

@@ -6,22 +6,45 @@
 //! This drives the real `PtbMechanism` with scripted observations and
 //! prints the per-cycle grants, reproducing the 12 → 16 → 28 effective
 //! budget progression of the figure (scaled to our token units).
+//!
+//! Accepts the shared observability flags (`--trace-out`,
+//! `--metrics-out`, `--audit` — see `ptb_experiments::obs`); because
+//! this binary scripts the chip instead of simulating it, the observer
+//! stack is fed by hand, which doubles as a demo of driving
+//! `SimObserver` outside the simulator (`--profile` has no phases to
+//! time here).
 
 use ptb_core::budget::BudgetSpec;
 use ptb_core::mechanisms::{ChipObs, CoreAction, CoreObs, Mechanism, PtbMechanism};
 use ptb_core::{PtbConfig, PtbPolicy};
-use ptb_experiments::{emit, Runner};
+use ptb_experiments::{emit, ObsArgs, Runner};
 use ptb_isa::{BarrierId, ExecCtx};
 use ptb_metrics::Table;
+use ptb_obs::{RunEnd, RunMeta, SimObserver, SpinKind, ThrottleObs};
 use ptb_power::PowerParams;
 use ptb_uarch::CoreConfig;
 
 fn main() {
+    let mut args: Vec<String> = std::env::args().collect();
+    let obs_args = ObsArgs::parse(&mut args);
     let runner = Runner::from_env();
     let n = 4;
-    let budget = BudgetSpec::new(&PowerParams::default(), &CoreConfig::default(), n, 0.5);
+    let params = PowerParams::default();
+    let budget = BudgetSpec::new(&params, &CoreConfig::default(), n, 0.5);
     let mut ptb = PtbMechanism::new(n, PtbPolicy::ToAll, 0.0, PtbConfig::default());
     let mut actions = vec![CoreAction::default(); n];
+    let mut stack = obs_args.stack();
+    let mut prev_throttle = vec![ptb_uarch::Throttle::none(); n];
+    let mut energy_tokens = 0.0f64;
+    if obs_args.enabled() {
+        stack.on_run_start(&RunMeta {
+            benchmark: "fig07-scripted-barrier".into(),
+            mechanism: "ptb-toall".into(),
+            n_cores: n,
+            freq_hz: params.freq_hz,
+            budget_tokens: budget.global,
+        });
+    }
 
     // Script: busy cores draw 1.4× local budget; spinning cores 0.4×.
     // Cores arrive at the barrier one by one, 40 cycles apart.
@@ -67,6 +90,29 @@ fn main() {
         };
         ptb.control(&obs, &budget, &mut actions);
         let granted = ptb.tokens_granted - before;
+        if obs_args.enabled() {
+            let toks: Vec<f64> = cores.iter().map(|c| c.tokens).collect();
+            stack.on_cycle(cycle, &toks, 0.0, chip);
+            energy_tokens += chip;
+            for c in 0..n {
+                if cycle == arrival[c] {
+                    stack.on_spin_enter(cycle, c, SpinKind::Barrier);
+                }
+                if actions[c].throttle != prev_throttle[c] {
+                    prev_throttle[c] = actions[c].throttle;
+                    let th = actions[c].throttle;
+                    stack.on_throttle_change(
+                        cycle,
+                        c,
+                        ThrottleObs {
+                            fetch_every: th.fetch_every,
+                            issue_width: th.issue_width,
+                            rob_cap: th.rob_cap,
+                        },
+                    );
+                }
+            }
+        }
         if cycle % 10 == 0 {
             let spinning = (0..n).filter(|&c| cycle >= arrival[c]).count();
             let busy_cores = n - spinning;
@@ -83,6 +129,13 @@ fn main() {
                 throttled.to_string(),
             ]);
         }
+    }
+    if obs_args.enabled() {
+        stack.on_run_end(&RunEnd {
+            cycles: 200,
+            energy_tokens,
+        });
+        obs_args.finish(&stack);
     }
     emit(&runner, "fig07_token_flow", &table);
     println!(

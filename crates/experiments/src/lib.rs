@@ -16,8 +16,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod obs;
 pub mod runner;
 
+pub use obs::ObsArgs;
 pub use runner::{emit, Job, Runner};
 
 use ptb_core::report::{normalized_aopb_pct, normalized_energy_pct, slowdown_pct};

@@ -89,8 +89,14 @@ impl Runner {
 
     /// Run one job synchronously.
     pub fn run_one(&self, job: Job) -> RunReport {
+        self.run_one_observed(job, &mut ptb_obs::NullObserver)
+    }
+
+    /// Run one job synchronously, streaming simulation events to `obs`
+    /// (see [`ptb_obs::SimObserver`]).
+    pub fn run_one_observed<O: ptb_obs::SimObserver>(&self, job: Job, obs: &mut O) -> RunReport {
         Simulation::new(self.config(&job))
-            .run(job.bench)
+            .run_observed(job.bench, obs)
             .unwrap_or_else(|e| {
                 panic!(
                     "{} / {} / {} cores failed: {e}",

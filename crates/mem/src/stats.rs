@@ -61,6 +61,26 @@ impl MemStats {
             ..Default::default()
         }
     }
+
+    /// Sum of the per-core stats across all tiles (cheap aggregate for
+    /// observers that track whole-chip deltas between cycles).
+    pub fn totals(&self) -> CoreMemStats {
+        let mut t = CoreMemStats::default();
+        for s in &self.per_core {
+            t.l1_accesses += s.l1_accesses;
+            t.l1_hits += s.l1_hits;
+            t.l1_misses += s.l1_misses;
+            t.l2_accesses += s.l2_accesses;
+            t.l2_hits += s.l2_hits;
+            t.l2_misses += s.l2_misses;
+            t.c2c_fills += s.c2c_fills;
+            t.invalidations_received += s.invalidations_received;
+            t.fwds_served += s.fwds_served;
+            t.l2_evictions += s.l2_evictions;
+            t.dirty_evictions += s.dirty_evictions;
+        }
+        t
+    }
 }
 
 /// Energy-relevant event counts accumulated since the last
@@ -96,5 +116,17 @@ mod tests {
     #[test]
     fn new_sizes_per_core() {
         assert_eq!(MemStats::new(16).per_core.len(), 16);
+    }
+
+    #[test]
+    fn totals_sums_all_tiles() {
+        let mut s = MemStats::new(3);
+        s.per_core[0].l1_misses = 4;
+        s.per_core[2].l1_misses = 1;
+        s.per_core[1].invalidations_received = 7;
+        let t = s.totals();
+        assert_eq!(t.l1_misses, 5);
+        assert_eq!(t.invalidations_received, 7);
+        assert_eq!(t.l1_accesses, 0);
     }
 }

@@ -1,0 +1,162 @@
+//! Token-conservation auditing.
+
+use crate::{RunEnd, RunMeta, SimObserver};
+
+/// Checks simulator accounting invariants while a run executes,
+/// panicking with context on the first violation (fail fast — a broken
+/// invariant poisons every downstream number, so there is no point
+/// finishing the run).
+///
+/// Checked every `stride` cycles:
+/// * **per-cycle conservation** — the chip sample equals the sum of the
+///   per-core samples plus the uncore share;
+///
+/// and at run end:
+/// * **energy integral** — the simulator's accumulated energy equals
+///   the audit's own integral of the chip samples it saw.
+#[derive(Debug, Clone)]
+pub struct AuditObserver {
+    stride: u64,
+    rel_tol: f64,
+    benchmark: String,
+    energy_integral: f64,
+    checks: u64,
+    violations_are_fatal: bool,
+    violations: u64,
+}
+
+impl AuditObserver {
+    /// Audit every `stride` cycles (0 is treated as 1) with a relative
+    /// tolerance of 1e-9 per comparison.
+    pub fn new(stride: u64) -> Self {
+        AuditObserver {
+            stride: stride.max(1),
+            rel_tol: 1e-9,
+            benchmark: String::new(),
+            energy_integral: 0.0,
+            checks: 0,
+            violations_are_fatal: true,
+            violations: 0,
+        }
+    }
+
+    /// Count violations instead of panicking (for tests of the auditor
+    /// itself).
+    pub fn counting_only(mut self) -> Self {
+        self.violations_are_fatal = false;
+        self
+    }
+
+    /// Number of per-cycle checks performed.
+    pub fn checks(&self) -> u64 {
+        self.checks
+    }
+
+    /// Number of violations seen (only useful with
+    /// [`AuditObserver::counting_only`]).
+    pub fn violations(&self) -> u64 {
+        self.violations
+    }
+
+    fn close(&self, a: f64, b: f64) -> bool {
+        let scale = a.abs().max(b.abs()).max(1.0);
+        (a - b).abs() <= self.rel_tol * scale
+    }
+
+    fn violate(&mut self, msg: String) {
+        if self.violations_are_fatal {
+            panic!("{msg}");
+        }
+        self.violations += 1;
+    }
+}
+
+impl SimObserver for AuditObserver {
+    fn on_run_start(&mut self, meta: &RunMeta) {
+        self.benchmark = meta.benchmark.clone();
+        self.energy_integral = 0.0;
+        self.checks = 0;
+        self.violations = 0;
+    }
+
+    fn on_cycle(&mut self, cycle: u64, per_core: &[f64], uncore: f64, chip: f64) {
+        self.energy_integral += chip;
+        if cycle.is_multiple_of(self.stride) {
+            self.checks += 1;
+            let sum: f64 = per_core.iter().sum::<f64>() + uncore;
+            if !self.close(sum, chip) {
+                let bench = self.benchmark.clone();
+                self.violate(format!(
+                    "token conservation violated at cycle {cycle} ({bench}): \
+                     sum(per_core) + uncore = {sum}, chip sample = {chip}"
+                ));
+            }
+        }
+    }
+
+    fn on_run_end(&mut self, end: &RunEnd) {
+        if !self.close(self.energy_integral, end.energy_tokens) {
+            let bench = self.benchmark.clone();
+            let integral = self.energy_integral;
+            self.violate(format!(
+                "energy accumulator diverged from trace integral ({bench}): \
+                 simulator total = {} tokens, audit integral = {integral} tokens \
+                 over {} cycles",
+                end.energy_tokens, end.cycles
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn consistent_run_passes() {
+        let mut a = AuditObserver::new(2);
+        a.on_run_start(&RunMeta::default());
+        let mut total = 0.0;
+        for cycle in 1..=100u64 {
+            let per_core = [1.0, 2.0, 3.0];
+            let uncore = 0.5;
+            let chip = per_core.iter().sum::<f64>() + uncore;
+            total += chip;
+            a.on_cycle(cycle, &per_core, uncore, chip);
+        }
+        a.on_run_end(&RunEnd {
+            cycles: 100,
+            energy_tokens: total,
+        });
+        assert_eq!(a.checks(), 50);
+        assert_eq!(a.violations(), 0);
+    }
+
+    #[test]
+    fn conservation_violation_is_caught() {
+        let mut a = AuditObserver::new(1).counting_only();
+        a.on_run_start(&RunMeta::default());
+        a.on_cycle(1, &[1.0, 2.0], 0.5, 99.0);
+        assert_eq!(a.violations(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "token conservation violated")]
+    fn violation_panics_with_context() {
+        let mut a = AuditObserver::new(1);
+        a.on_run_start(&RunMeta::default());
+        a.on_cycle(7, &[1.0], 0.0, 5.0);
+    }
+
+    #[test]
+    fn energy_divergence_is_caught() {
+        let mut a = AuditObserver::new(1).counting_only();
+        a.on_run_start(&RunMeta::default());
+        a.on_cycle(1, &[1.0], 0.0, 1.0);
+        a.on_run_end(&RunEnd {
+            cycles: 1,
+            energy_tokens: 2.0,
+        });
+        assert_eq!(a.violations(), 1);
+    }
+}

@@ -1,0 +1,171 @@
+//! Named counters and gauges fed by observer hooks.
+
+use crate::{MemPulse, RunEnd, RunMeta, SimObserver, SpinKind, ThrottleObs};
+use ptb_metrics::Table;
+use std::collections::BTreeMap;
+
+/// A registry of named counters (monotonic sums) and gauges (last
+/// value), keyed by dotted names like `mech.dvfs_transitions`.
+///
+/// As a [`SimObserver`] it counts every mechanism decision, spin
+/// transition, backpressure retry and memory event of a run; user code
+/// can add its own series with [`CounterRegistry::add`] /
+/// [`CounterRegistry::set`]. Export as a `ptb_metrics::Table` (CSV) or
+/// merge into `RunReport::extra_metrics` via the map view.
+#[derive(Debug, Clone, Default)]
+pub struct CounterRegistry {
+    values: BTreeMap<String, f64>,
+}
+
+impl CounterRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `delta` to counter `name` (creating it at 0).
+    pub fn add(&mut self, name: &str, delta: f64) {
+        *self.values.entry(name.to_owned()).or_insert(0.0) += delta;
+    }
+
+    /// Increment counter `name` by 1.
+    pub fn inc(&mut self, name: &str) {
+        self.add(name, 1.0);
+    }
+
+    /// Set gauge `name` to `value`, overwriting.
+    pub fn set(&mut self, name: &str, value: f64) {
+        self.values.insert(name.to_owned(), value);
+    }
+
+    /// Current value of `name`, if present.
+    pub fn get(&self, name: &str) -> Option<f64> {
+        self.values.get(name).copied()
+    }
+
+    /// All series, sorted by name.
+    pub fn as_map(&self) -> &BTreeMap<String, f64> {
+        &self.values
+    }
+
+    /// Number of series.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when no series exist.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Render as a two-column `counter,value` table (CSV via
+    /// `Table::to_csv`).
+    pub fn to_table(&self, title: &str) -> Table {
+        let mut t = Table::new(title, &["counter", "value"]);
+        for (name, value) in &self.values {
+            t.row(vec![name.clone(), format_value(*value)]);
+        }
+        t
+    }
+}
+
+/// Integral counters print without a fractional part.
+fn format_value(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.6}")
+    }
+}
+
+impl SimObserver for CounterRegistry {
+    fn on_run_start(&mut self, meta: &RunMeta) {
+        self.set("run.n_cores", meta.n_cores as f64);
+        self.set("run.budget_tokens", meta.budget_tokens);
+    }
+
+    fn on_dvfs_change(
+        &mut self,
+        _cycle: u64,
+        _core: usize,
+        _v: f64,
+        _f: f64,
+        transition_cycles: u64,
+    ) {
+        self.inc("mech.dvfs_transitions");
+        self.add(
+            "mech.dvfs_transition_stall_cycles",
+            transition_cycles as f64,
+        );
+    }
+
+    fn on_throttle_change(&mut self, _cycle: u64, _core: usize, _throttle: ThrottleObs) {
+        self.inc("mech.throttle_changes");
+    }
+
+    fn on_spin_enter(&mut self, _cycle: u64, _core: usize, kind: SpinKind) {
+        self.inc("sync.spin_episodes");
+        match kind {
+            SpinKind::Lock => self.inc("sync.spin_episodes_lock"),
+            SpinKind::Barrier => self.inc("sync.spin_episodes_barrier"),
+            SpinKind::Other => {}
+        }
+    }
+
+    fn on_mem_retry(&mut self, _cycle: u64, _core: usize) {
+        self.inc("mem.backpressure_retries");
+    }
+
+    fn on_mem_pulse(&mut self, _cycle: u64, pulse: &MemPulse) {
+        self.add("mem.l1_misses", pulse.l1_misses as f64);
+        self.add("mem.l2_misses", pulse.l2_misses as f64);
+        self.add("mem.invalidations", pulse.invalidations as f64);
+        self.add("mem.accesses", pulse.mem_accesses as f64);
+    }
+
+    fn on_run_end(&mut self, end: &RunEnd) {
+        self.set("run.cycles", end.cycles as f64);
+        self.set("run.energy_tokens", end.energy_tokens);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_hook_traffic() {
+        let mut c = CounterRegistry::new();
+        c.on_dvfs_change(10, 0, 0.9, 0.8, 60);
+        c.on_dvfs_change(20, 1, 1.0, 1.0, 60);
+        c.on_spin_enter(30, 0, SpinKind::Lock);
+        c.on_mem_retry(31, 2);
+        c.on_mem_pulse(
+            32,
+            &MemPulse {
+                l1_misses: 3,
+                invalidations: 1,
+                ..MemPulse::default()
+            },
+        );
+        assert_eq!(c.get("mech.dvfs_transitions"), Some(2.0));
+        assert_eq!(c.get("mech.dvfs_transition_stall_cycles"), Some(120.0));
+        assert_eq!(c.get("sync.spin_episodes_lock"), Some(1.0));
+        assert_eq!(c.get("mem.backpressure_retries"), Some(1.0));
+        assert_eq!(c.get("mem.l1_misses"), Some(3.0));
+    }
+
+    #[test]
+    fn table_is_sorted_and_csv_ready() {
+        let mut c = CounterRegistry::new();
+        c.set("b.gauge", 1.5);
+        c.inc("a.count");
+        let t = c.to_table("counters");
+        let csv = t.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "# counters");
+        assert_eq!(lines[1], "counter,value");
+        assert!(lines[2].starts_with("a.count,1"));
+        assert!(lines[3].starts_with("b.gauge,1.5"));
+    }
+}

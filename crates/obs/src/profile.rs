@@ -1,0 +1,124 @@
+//! Wall-clock phase profiling.
+
+use crate::{Phase, SimObserver};
+use ptb_metrics::Table;
+use std::collections::BTreeMap;
+
+/// Accumulates wall-clock time per simulator phase (memory tick, core
+/// tick, power sample, mechanism control), as measured by the simulator
+/// when [`SimObserver::wants_phase_timing`] returns true.
+///
+/// The measurement itself costs a handful of `Instant::now()` calls per
+/// simulated cycle, so enable it for profiling runs, not for
+/// experiments whose wall-clock time matters.
+#[derive(Debug, Clone, Default)]
+pub struct PhaseProfiler {
+    nanos: [u64; Phase::COUNT],
+    samples: [u64; Phase::COUNT],
+}
+
+impl PhaseProfiler {
+    /// Fresh profiler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total nanoseconds attributed to `phase`.
+    pub fn nanos(&self, phase: Phase) -> u64 {
+        self.nanos[phase.index()]
+    }
+
+    /// Total measured nanoseconds across all phases.
+    pub fn total_nanos(&self) -> u64 {
+        self.nanos.iter().sum()
+    }
+
+    /// Share of measured time spent in `phase` (0..=1; 0 if nothing
+    /// was measured).
+    pub fn share(&self, phase: Phase) -> f64 {
+        let total = self.total_nanos();
+        if total == 0 {
+            0.0
+        } else {
+            self.nanos(phase) as f64 / total as f64
+        }
+    }
+
+    /// Flat `profile.<phase>_ms` map for `RunReport::extra_metrics`.
+    pub fn as_map(&self) -> BTreeMap<String, f64> {
+        let mut m = BTreeMap::new();
+        for p in Phase::ALL {
+            m.insert(
+                format!("profile.{}_ms", p.name()),
+                self.nanos(p) as f64 / 1.0e6,
+            );
+        }
+        m.insert("profile.total_ms".into(), self.total_nanos() as f64 / 1.0e6);
+        m
+    }
+
+    /// Render as a `phase,total_ms,share_pct` table.
+    pub fn to_table(&self, title: &str) -> Table {
+        let mut t = Table::new(title, &["phase", "total_ms", "share_pct"]);
+        for p in Phase::ALL {
+            t.row(vec![
+                p.name().to_owned(),
+                format!("{:.3}", self.nanos(p) as f64 / 1.0e6),
+                format!("{:.1}", self.share(p) * 100.0),
+            ]);
+        }
+        t
+    }
+
+    /// One-line summary like
+    /// `mem_tick 41.2% | core_tick 38.0% | power_sample 12.5% | mechanism 8.3% (total 1234 ms)`.
+    pub fn summary(&self) -> String {
+        let parts: Vec<String> = Phase::ALL
+            .iter()
+            .map(|&p| format!("{} {:.1}%", p.name(), self.share(p) * 100.0))
+            .collect();
+        format!(
+            "{} (total {:.0} ms)",
+            parts.join(" | "),
+            self.total_nanos() as f64 / 1.0e6
+        )
+    }
+}
+
+impl SimObserver for PhaseProfiler {
+    fn wants_phase_timing(&self) -> bool {
+        true
+    }
+
+    fn on_phase_time(&mut self, phase: Phase, nanos: u64) {
+        self.nanos[phase.index()] += nanos;
+        self.samples[phase.index()] += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_and_shares() {
+        let mut p = PhaseProfiler::new();
+        p.on_phase_time(Phase::MemTick, 300);
+        p.on_phase_time(Phase::CoreTick, 600);
+        p.on_phase_time(Phase::PowerSample, 50);
+        p.on_phase_time(Phase::Mechanism, 50);
+        p.on_phase_time(Phase::MemTick, 0);
+        assert_eq!(p.total_nanos(), 1000);
+        assert!((p.share(Phase::CoreTick) - 0.6).abs() < 1e-12);
+        let m = p.as_map();
+        assert!((m["profile.mem_tick_ms"] - 3.0e-4).abs() < 1e-15);
+        assert!(p.summary().contains("core_tick 60.0%"));
+    }
+
+    #[test]
+    fn empty_profile_is_quiet() {
+        let p = PhaseProfiler::new();
+        assert_eq!(p.share(Phase::MemTick), 0.0);
+        assert!(p.wants_phase_timing());
+    }
+}

@@ -147,9 +147,9 @@ mod tests {
     fn conflict_eviction_at_low_associativity() {
         let mut c = tiny();
         // Lines 0, 2, 4 all map to set 0 (2 sets).
-        assert!(!c.fetch(0 * 64));
+        assert!(!c.fetch(0));
         assert!(!c.fetch(2 * 64));
-        assert!(c.fetch(0 * 64)); // still resident
+        assert!(c.fetch(0)); // still resident
         assert!(!c.fetch(4 * 64)); // evicts LRU (line 2)
         assert!(!c.fetch(2 * 64)); // miss again
     }

@@ -473,7 +473,10 @@ mod tests {
                 times: 2,
                 body: vec![
                     Stmt::Lock(LockId(0)),
-                    Stmt::Compute { profile: 0, count: 4 },
+                    Stmt::Compute {
+                        profile: 0,
+                        count: 4,
+                    },
                     Stmt::Unlock(LockId(0)),
                 ],
             }],

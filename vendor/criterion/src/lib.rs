@@ -1,0 +1,247 @@
+//! Offline drop-in subset of the `criterion` 0.5 bench API (see
+//! `vendor/README.md`).
+//!
+//! Implements the macro and type surface this workspace's benches use —
+//! [`criterion_group!`], [`criterion_main!`], [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_function`], [`Bencher::iter`] /
+//! [`Bencher::iter_batched`] — with a simple wall-clock measurement loop:
+//! a short warm-up, then timed batches until the group's measurement
+//! time elapses, reporting min / median / mean per iteration. No
+//! statistics engine, plots or saved baselines; output is one line per
+//! benchmark, which keeps `cargo bench` usable offline as a smoke-and-
+//! regression harness.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Batch sizing hints for [`Bencher::iter_batched`] (accepted, and used
+/// to pick how many setup+routine pairs run per timed batch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: batch many iterations together.
+    SmallInput,
+    /// Large inputs: run one iteration per batch.
+    LargeInput,
+    /// Exactly one iteration per batch.
+    PerIteration,
+}
+
+impl BatchSize {
+    fn batch_len(self) -> u64 {
+        match self {
+            BatchSize::SmallInput => 16,
+            BatchSize::LargeInput | BatchSize::PerIteration => 1,
+        }
+    }
+}
+
+/// Measurement strategies (only wall-clock time is provided).
+pub mod measurement {
+    /// Wall-clock time measurement (the criterion default).
+    #[derive(Debug, Default, Clone, Copy)]
+    pub struct WallTime;
+}
+
+/// Per-benchmark timing driver handed to the closure of
+/// [`BenchmarkGroup::bench_function`].
+pub struct Bencher<'a> {
+    meas_time: Duration,
+    samples: &'a mut Vec<Duration>,
+}
+
+impl Bencher<'_> {
+    /// Time repeated calls of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and per-iteration cost estimate.
+        let warm_start = Instant::now();
+        black_box(routine());
+        let once = warm_start.elapsed();
+        let batch =
+            (Duration::from_millis(5).as_nanos() / once.as_nanos().max(1)).clamp(1, 1 << 16) as u64;
+        let deadline = Instant::now() + self.meas_time;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.samples.push(t0.elapsed() / batch as u32);
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+
+    /// Time `routine` over fresh inputs produced by `setup`; only the
+    /// routine is timed.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let batch = size.batch_len();
+        let deadline = Instant::now() + self.meas_time;
+        loop {
+            let inputs: Vec<I> = (0..batch).map(|_| setup()).collect();
+            let t0 = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            self.samples.push(t0.elapsed() / batch as u32);
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a, M = measurement::WallTime> {
+    name: String,
+    meas_time: Duration,
+    _criterion: &'a mut Criterion,
+    _marker: std::marker::PhantomData<M>,
+}
+
+impl<M> BenchmarkGroup<'_, M> {
+    /// Set the target number of samples (accepted for API compatibility;
+    /// the sample count is effectively governed by the measurement time).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Set how long each benchmark in the group is measured for.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        // Cap so `cargo bench` stays a practical smoke harness offline.
+        self.meas_time = t.min(Duration::from_secs(5));
+        self
+    }
+
+    /// Set the warm-up time (accepted for API compatibility).
+    pub fn warm_up_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark and print its per-iteration timing summary.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let id = id.into();
+        let mut samples: Vec<Duration> = Vec::new();
+        let mut b = Bencher {
+            meas_time: self.meas_time,
+            samples: &mut samples,
+        };
+        f(&mut b);
+        samples.sort_unstable();
+        let (min, med, mean) = if samples.is_empty() {
+            (Duration::ZERO, Duration::ZERO, Duration::ZERO)
+        } else {
+            let total: Duration = samples.iter().sum();
+            (
+                samples[0],
+                samples[samples.len() / 2],
+                total / samples.len() as u32,
+            )
+        };
+        println!(
+            "bench {:<40} time: [min {:>12?}  median {:>12?}  mean {:>12?}]  ({} samples)",
+            format!("{}/{}", self.name, id),
+            min,
+            med,
+            mean,
+            samples.len()
+        );
+        self
+    }
+
+    /// Finish the group (no-op; exists for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level bench context, mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion;
+
+impl Criterion {
+    /// Apply command-line configuration (accepted and ignored; `cargo
+    /// bench` harness flags are handled by the generated `main`).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(
+        &mut self,
+        name: impl Into<String>,
+    ) -> BenchmarkGroup<'_, measurement::WallTime> {
+        BenchmarkGroup {
+            name: name.into(),
+            meas_time: Duration::from_secs(3),
+            _criterion: self,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        self.benchmark_group("criterion").bench_function(id, f);
+        self
+    }
+}
+
+/// Define a bench group function from a list of bench functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Define the bench binary's `main` from a list of groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_samples() {
+        let mut c = Criterion;
+        let mut g = c.benchmark_group("t");
+        g.measurement_time(Duration::from_millis(20));
+        let mut runs = 0u64;
+        g.bench_function("spin", |b| {
+            b.iter(|| {
+                runs += 1;
+                black_box(runs)
+            })
+        });
+        g.finish();
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_input() {
+        let mut c = Criterion;
+        let mut g = c.benchmark_group("t");
+        g.measurement_time(Duration::from_millis(10));
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput)
+        });
+    }
+}

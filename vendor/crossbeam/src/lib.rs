@@ -1,0 +1,95 @@
+//! Offline drop-in subset of `crossbeam`'s scoped threads, implemented on
+//! `std::thread::scope` (see `vendor/README.md` for why this exists).
+//!
+//! Only the API surface this workspace uses is provided: [`scope`] and
+//! [`thread::Scope::spawn`] with the crossbeam closure shape (the closure
+//! receives the scope so it can spawn nested threads).
+//!
+//! Panic semantics differ slightly from real crossbeam: a panicking
+//! spawned thread propagates its panic when the scope exits (via
+//! `std::thread::scope`) instead of being returned as `Err`, so callers
+//! that `.expect()` the result observe an equivalent abort-with-message.
+
+pub mod thread {
+    //! Scoped thread spawning.
+
+    /// A scope for spawning borrowed threads, mirroring
+    /// `crossbeam::thread::Scope`.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a scoped thread, mirroring
+    /// `crossbeam::thread::ScopedJoinHandle`.
+    pub struct ScopedJoinHandle<'scope, T>(std::thread::ScopedJoinHandle<'scope, T>);
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Wait for the thread to finish and return its result.
+        pub fn join(self) -> Result<T, Box<dyn std::any::Any + Send + 'static>> {
+            self.0.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread inside the scope. As in crossbeam, the closure
+        /// receives the scope so it can spawn further threads.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle(inner.spawn(move || {
+                let s = Scope { inner };
+                f(&s)
+            }))
+        }
+    }
+
+    /// Run `f` with a scope in which borrowed threads can be spawned; all
+    /// spawned threads are joined before this returns.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| {
+            let wrapper = Scope { inner: s };
+            f(&wrapper)
+        }))
+    }
+}
+
+pub use thread::scope;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_share_borrows() {
+        let data = [1u64, 2, 3, 4];
+        let sums = std::sync::Mutex::new(0u64);
+        super::scope(|s| {
+            for chunk in data.chunks(2) {
+                s.spawn(|_| {
+                    let part: u64 = chunk.iter().sum();
+                    *sums.lock().unwrap() += part;
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(sums.into_inner().unwrap(), 10);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let hit = std::sync::atomic::AtomicU64::new(0);
+        super::scope(|s| {
+            s.spawn(|s2| {
+                s2.spawn(|_| {
+                    hit.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                });
+            });
+        })
+        .unwrap();
+        assert_eq!(hit.load(std::sync::atomic::Ordering::SeqCst), 1);
+    }
+}

@@ -1,0 +1,405 @@
+//! Offline drop-in subset of `proptest` (see `vendor/README.md`).
+//!
+//! Supports the surface this workspace's property tests use:
+//!
+//! * the [`proptest!`] macro with `pat in strategy` parameters and an
+//!   optional `#![proptest_config(...)]` header;
+//! * range strategies (`0u64..100`, `0u8..=2`, `0.0f64..1.0`), tuples of
+//!   strategies, [`collection::vec`] and [`option::of`];
+//! * [`prop_assert!`], [`prop_assert_eq!`] and [`prop_assert_ne!`].
+//!
+//! Differences from real proptest: no shrinking (a failing case reports
+//! its seed and values but is not minimised), and the default case count
+//! is 64 rather than 256 to keep offline CI fast. Failures print the
+//! case number and the `PROPTEST_RNG_SEED` needed to replay the run.
+
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+
+/// A failed property within a test case.
+#[derive(Debug, Clone)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Build a failure carrying `msg`.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Per-test configuration (subset of `proptest::test_runner::ProptestConfig`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// The deterministic generator driving value generation.
+#[derive(Debug, Clone)]
+pub struct TestRng(u64, u64);
+
+impl TestRng {
+    /// Seeded generator (xorshift128+).
+    pub fn new(seed: u64) -> Self {
+        // Avoid the all-zero state.
+        TestRng(seed ^ 0x9e37_79b9_7f4a_7c15, seed | 1)
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        let TestRng(mut a, b) = *self;
+        a ^= a << 23;
+        a ^= a >> 17;
+        a ^= b ^ (b >> 26);
+        *self = TestRng(b, a);
+        a.wrapping_add(b)
+    }
+
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Test-runner plumbing used by the [`proptest!`] expansion.
+pub mod test_runner {
+    pub use super::{ProptestConfig, TestRng};
+
+    /// Seed for a named test: `PROPTEST_RNG_SEED` if set, else a stable
+    /// hash of the test name (deterministic across runs).
+    pub fn rng_for_test(name: &str) -> (TestRng, u64) {
+        let seed = std::env::var("PROPTEST_RNG_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| {
+                // FNV-1a over the name: stable, dependency-free.
+                let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+                for b in name.bytes() {
+                    h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+                }
+                h
+            });
+        (TestRng::new(seed), seed)
+    }
+}
+
+/// Something that can generate values of its output type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as u128).wrapping_sub(self.start as u128) as u64;
+                let v = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                self.start.wrapping_add(v as $t)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty strategy range");
+                if lo == <$t>::MIN && hi == <$t>::MAX {
+                    return rng.next_u64() as $t;
+                }
+                let span = (hi as u128).wrapping_sub(lo as u128) as u64 + 1;
+                let v = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                lo.wrapping_add(v as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                self.start + (rng.next_f64() as $t) * (self.end - self.start)
+            }
+        }
+    )*};
+}
+
+impl_float_strategy!(f32, f64);
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+    (A 0, B 1, C 2, D 3, E 4)
+    (A 0, B 1, C 2, D 3, E 4, F 5)
+}
+
+/// Collection strategies (subset of `proptest::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Element-count specification for [`vec`]: a fixed size or a range.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange(pub usize, pub usize);
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange(n, n + 1)
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange(r.start, r.end)
+        }
+    }
+
+    /// Strategy producing `Vec`s of `element` with a length drawn from
+    /// `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let SizeRange(lo, hi) = self.size;
+            let span = (hi - lo) as u64;
+            let len = lo + (((rng.next_u64() as u128 * span as u128) >> 64) as usize);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Option strategies (subset of `proptest::option`).
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    /// Strategy producing `Some(inner)` 75 % of the time and `None`
+    /// otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    /// See [`of`].
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.next_u64() & 3 != 0 {
+                Some(self.inner.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// Common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{Just, ProptestConfig, Strategy, TestCaseError};
+    /// Alias module so `prop::collection::vec(...)` etc. resolve.
+    pub mod prop {
+        pub use crate::{collection, option};
+    }
+}
+
+/// Assert a condition inside a [`proptest!`] body; on failure the current
+/// case is reported (with its replay seed) and the test panics.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Assert equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(*a == *b, "prop_assert_eq failed: {:?} != {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(*a == *b, $($fmt)+);
+    }};
+}
+
+/// Assert inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(*a != *b, "prop_assert_ne failed: both {:?}", a);
+    }};
+}
+
+/// Define property tests: each `pat in strategy` parameter is drawn
+/// freshly per case and the body runs for the configured number of cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { (<$crate::ProptestConfig as ::std::default::Default>::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($pn:pat in $st:expr),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let (mut rng, seed) =
+                    $crate::test_runner::rng_for_test(concat!(module_path!(), "::", stringify!($name)));
+                for case in 0..config.cases {
+                    let ($($pn,)+) = ($($crate::Strategy::generate(&($st), &mut rng),)+);
+                    let outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    if let ::std::result::Result::Err(e) = outcome {
+                        panic!(
+                            "proptest case {}/{} failed (replay with PROPTEST_RNG_SEED={}): {}",
+                            case + 1, config.cases, seed, e
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_and_tuples(x in 1u64..10, (a, b) in (0u8..=2, 0.0f64..1.0)) {
+            prop_assert!((1..10).contains(&x));
+            prop_assert!(a <= 2);
+            prop_assert!((0.0..1.0).contains(&b));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+        /// Doc comments and config headers both parse.
+        #[test]
+        fn vec_and_option(v in prop::collection::vec((0usize..4, 1u32..5), 1..9),
+                          o in prop::option::of(3i32..7)) {
+            prop_assert!(!v.is_empty() && v.len() < 9);
+            for (a, b) in &v {
+                prop_assert!(*a < 4);
+                prop_assert!((1..5).contains(b));
+            }
+            if let Some(x) = o {
+                prop_assert!((3..7).contains(&x));
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn nested_vec_with_exact_size(rows in crate::collection::vec(
+            crate::collection::vec(0.0f64..3.0, 8), 1..6)) {
+            for r in &rows {
+                prop_assert_eq!(r.len(), 8);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_rng_per_name() {
+        let (mut a, sa) = crate::test_runner::rng_for_test("x");
+        let (mut b, sb) = crate::test_runner::rng_for_test("x");
+        assert_eq!(sa, sb);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

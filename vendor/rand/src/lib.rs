@@ -1,0 +1,256 @@
+//! Offline drop-in subset of the `rand` 0.9 API (see `vendor/README.md`).
+//!
+//! Provides exactly the surface this workspace uses: `SmallRng` seeded
+//! via [`SeedableRng::seed_from_u64`], and the [`Rng`] methods
+//! `random`, `random_bool` and `random_range`. The generator is
+//! xoshiro256++ (the algorithm family real `rand` uses for `SmallRng`
+//! on 64-bit targets), seeded through SplitMix64 as upstream does, so
+//! statistical quality is comparable; exact streams differ from the
+//! real crate, which is fine because nothing in this repo depends on
+//! upstream's bit-exact sequences — only on determinism per seed.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Random number generators (mirrors `rand::rngs`).
+pub mod rngs {
+    /// A small, fast, non-cryptographic PRNG (xoshiro256++).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SmallRng {
+        pub(crate) s: [u64; 4],
+    }
+}
+
+pub use rngs::SmallRng;
+
+/// Types that can seed themselves from integers (subset of
+/// `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Create a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for SmallRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 expansion, as rand_core does for integer seeds.
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        let s = [next(), next(), next(), next()];
+        SmallRng { s }
+    }
+}
+
+impl SmallRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+/// Sampling from the "standard" distribution (uniform over a type's
+/// natural unit domain), backing [`Rng::random`].
+pub trait StandardSample: Sized {
+    /// Draw one value from `rng`.
+    fn sample_standard(rng: &mut SmallRng) -> Self;
+}
+
+impl StandardSample for f32 {
+    #[inline]
+    fn sample_standard(rng: &mut SmallRng) -> f32 {
+        // 24 mantissa bits -> uniform in [0, 1).
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl StandardSample for f64 {
+    #[inline]
+    fn sample_standard(rng: &mut SmallRng) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for bool {
+    #[inline]
+    fn sample_standard(rng: &mut SmallRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl StandardSample for u64 {
+    #[inline]
+    fn sample_standard(rng: &mut SmallRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl StandardSample for u32 {
+    #[inline]
+    fn sample_standard(rng: &mut SmallRng) -> u32 {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+/// Types uniformly sampleable over a `lo..hi` span (subset of
+/// `rand::distr::uniform::SampleUniform`). One blanket [`SampleRange`]
+/// impl per range shape hangs off this trait, which is what lets
+/// integer-literal ranges (`0..8`) unify with the inferred output type
+/// exactly as they do with the real crate.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Draw uniformly from `[lo, hi)` (`inclusive = false`) or
+    /// `[lo, hi]` (`inclusive = true`).
+    fn sample_in(lo: Self, hi: Self, inclusive: bool, rng: &mut SmallRng) -> Self;
+}
+
+macro_rules! impl_int_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_in(lo: $t, hi: $t, inclusive: bool, rng: &mut SmallRng) -> $t {
+                if inclusive {
+                    assert!(lo <= hi, "empty range in random_range");
+                    if lo == <$t>::MIN && hi == <$t>::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    let span = (hi as u128).wrapping_sub(lo as u128) as u64 + 1;
+                    let v = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                    lo.wrapping_add(v as $t)
+                } else {
+                    assert!(lo < hi, "empty range in random_range");
+                    // Multiply-shift bounded sampling (Lemire); the tiny
+                    // bias of the plain variant is irrelevant at simulator
+                    // spans.
+                    let span = (hi as u128).wrapping_sub(lo as u128) as u64;
+                    let v = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                    lo.wrapping_add(v as $t)
+                }
+            }
+        }
+    )*};
+}
+
+impl_int_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_in(lo: $t, hi: $t, _inclusive: bool, rng: &mut SmallRng) -> $t {
+                assert!(lo < hi, "empty range in random_range");
+                lo + <$t>::sample_standard(rng) * (hi - lo)
+            }
+        }
+    )*};
+}
+
+impl_float_uniform!(f32, f64);
+
+/// A range understood by [`Rng::random_range`] (subset of
+/// `rand::distr::uniform::SampleRange`).
+pub trait SampleRange<T> {
+    /// Draw a uniform value from the range.
+    fn sample_from(self, rng: &mut SmallRng) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    #[inline]
+    fn sample_from(self, rng: &mut SmallRng) -> T {
+        T::sample_in(self.start, self.end, false, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    #[inline]
+    fn sample_from(self, rng: &mut SmallRng) -> T {
+        T::sample_in(*self.start(), *self.end(), true, rng)
+    }
+}
+
+/// User-facing random-value methods (subset of `rand::Rng`).
+pub trait Rng {
+    /// Draw from the standard distribution of `T`.
+    fn random<T: StandardSample>(&mut self) -> T;
+
+    /// Bernoulli draw: `true` with probability `p` (clamped to [0, 1]).
+    fn random_bool(&mut self, p: f64) -> bool;
+
+    /// Uniform draw from `range`.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T;
+}
+
+impl Rng for SmallRng {
+    #[inline]
+    fn random<T: StandardSample>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    #[inline]
+    fn random_bool(&mut self, p: f64) -> bool {
+        f64::sample_standard(self) < p
+    }
+
+    #[inline]
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_from(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v: u64 = r.random_range(10..20);
+            assert!((10..20).contains(&v));
+            let w = r.random_range(1..=6);
+            assert!((1..=6).contains(&w));
+            let f: f64 = r.random_range(0.25..0.75);
+            assert!((0.25..0.75).contains(&f));
+            let x: f32 = r.random();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn random_bool_tracks_probability() {
+        let mut r = SmallRng::seed_from_u64(2);
+        let hits = (0..100_000).filter(|_| r.random_bool(0.3)).count();
+        let frac = hits as f64 / 100_000.0;
+        assert!((frac - 0.3).abs() < 0.01, "frac = {frac}");
+        assert!(!r.random_bool(0.0));
+        assert!(r.random_bool(1.1));
+    }
+
+    #[test]
+    fn full_u64_inclusive_range() {
+        let mut r = SmallRng::seed_from_u64(3);
+        let _: u64 = r.random_range(0..=u64::MAX);
+    }
+}

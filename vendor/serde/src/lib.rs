@@ -1,0 +1,802 @@
+//! Offline drop-in subset of `serde` (see `vendor/README.md`).
+//!
+//! Real serde is a zero-copy framework over generic `Serializer` /
+//! `Deserializer` visitors. This stub keeps the *user-facing surface*
+//! this workspace relies on — `#[derive(Serialize, Deserialize)]`,
+//! `#[serde(default)]`, and JSON round-trips — but routes everything
+//! through an owned intermediate [`Value`] tree:
+//!
+//! * [`Serialize`] renders a type into a [`Value`];
+//! * [`Deserialize`] rebuilds a type from a [`Value`];
+//! * [`json`] converts between [`Value`] and JSON text.
+//!
+//! The derive macros live in the sibling `serde_derive` stub and are
+//! re-exported here under the `derive` feature, exactly like upstream.
+//! Externally-tagged enum representation matches serde_json's default
+//! (`"Variant"` for unit variants, `{"Variant": payload}` otherwise),
+//! so files written by this stub stay readable by real serde_json.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Object representation: ordered map for deterministic output.
+pub type Map = BTreeMap<String, Value>;
+
+/// An owned, JSON-shaped data tree — the interchange format between
+/// [`Serialize`], [`Deserialize`] and the [`json`] text engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Non-negative integer.
+    U64(u64),
+    /// Negative (or explicitly signed) integer.
+    I64(i64),
+    /// Floating-point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object with string keys.
+    Object(Map),
+}
+
+impl Value {
+    /// Borrow as an object map, if this is an object.
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Borrow as an array, if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Borrow as a string slice, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric view as `u64` (accepts `U64`, and non-negative `I64`).
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::U64(n) => Some(n),
+            Value::I64(n) if n >= 0 => Some(n as u64),
+            _ => None,
+        }
+    }
+
+    /// Numeric view as `i64` (accepts `I64`, and in-range `U64`).
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::I64(n) => Some(n),
+            Value::U64(n) => i64::try_from(n).ok(),
+            _ => None,
+        }
+    }
+
+    /// Numeric view as `f64` (accepts any numeric variant).
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::F64(x) => Some(x),
+            Value::U64(n) => Some(n as f64),
+            Value::I64(n) => Some(n as f64),
+            _ => None,
+        }
+    }
+
+    /// Boolean view.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Index into an object by key (`None` for non-objects/missing keys).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|m| m.get(key))
+    }
+
+    /// Short tag naming the variant, used in error messages.
+    fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::U64(_) | Value::I64(_) => "integer",
+            Value::F64(_) => "float",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Serialization/deserialization failure with a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    /// Error with a custom message.
+    pub fn new(msg: impl Into<String>) -> Self {
+        Error(msg.into())
+    }
+
+    /// "expected X, got <kind>" error.
+    pub fn expected(what: &str, got: &Value) -> Self {
+        Error(format!("expected {what}, got {}", got.kind()))
+    }
+
+    /// Missing required field while deserializing a struct.
+    pub fn missing_field(ty: &str, field: &str) -> Self {
+        Error(format!("missing field `{field}` for `{ty}`"))
+    }
+
+    /// Unknown enum variant name.
+    pub fn unknown_variant(ty: &str, variant: &str) -> Self {
+        Error(format!("unknown variant `{variant}` for enum `{ty}`"))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types renderable into a [`Value`].
+pub trait Serialize {
+    /// Render `self` as a data tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types rebuildable from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Rebuild from a data tree.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_bool().ok_or_else(|| Error::expected("bool", v))
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                v.as_u64()
+                    .and_then(|n| <$t>::try_from(n).ok())
+                    .ok_or_else(|| Error::expected(stringify!($t), v))
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::I64(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                v.as_i64()
+                    .and_then(|n| <$t>::try_from(n).ok())
+                    .ok_or_else(|| Error::expected(stringify!($t), v))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64().ok_or_else(|| Error::expected("f64", v))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64()
+            .map(|x| x as f32)
+            .ok_or_else(|| Error::expected("f32", v))
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| Error::expected("string", v))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_array()
+            .ok_or_else(|| Error::expected("array", v))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let items: Vec<T> = Vec::from_value(v)?;
+        if items.len() != N {
+            return Err(Error::new(format!(
+                "expected array of {N} elements, got {}",
+                items.len()
+            )));
+        }
+        match items.try_into() {
+            Ok(arr) => Ok(arr),
+            Err(_) => unreachable!("length checked above"),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeMap<String, T> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<T: Deserialize> Deserialize for BTreeMap<String, T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_object()
+            .ok_or_else(|| Error::expected("object", v))?
+            .iter()
+            .map(|(k, v)| T::from_value(v).map(|t| (k.clone(), t)))
+            .collect()
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($t:ident $idx:tt),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                const LEN: usize = 0 $(+ { let _ = stringify!($t); 1 })+;
+                let a = v.as_array().ok_or_else(|| Error::expected("tuple array", v))?;
+                if a.len() != LEN {
+                    return Err(Error::new(format!(
+                        "expected tuple of {LEN} elements, got {}", a.len()
+                    )));
+                }
+                Ok(($($t::from_value(&a[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A 0)
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+}
+
+/// JSON text conversion for [`Value`] trees (subset of `serde_json`).
+pub mod json {
+    use super::{Deserialize, Error, Serialize};
+    pub use super::{Map, Value};
+
+    /// Serialize `value` to compact JSON.
+    pub fn to_string<T: Serialize + ?Sized>(value: &T) -> String {
+        let mut out = String::new();
+        write_value(&value.to_value(), &mut out, None, 0);
+        out
+    }
+
+    /// Serialize `value` to human-readable, 2-space-indented JSON.
+    pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> String {
+        let mut out = String::new();
+        write_value(&value.to_value(), &mut out, Some(2), 0);
+        out
+    }
+
+    /// Deserialize a `T` from JSON text.
+    pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+        T::from_value(&parse(s)?)
+    }
+
+    /// Parse JSON text into a [`Value`] tree.
+    pub fn parse(s: &str) -> Result<Value, Error> {
+        let mut p = Parser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(Error::new(format!("trailing characters at byte {}", p.pos)));
+        }
+        Ok(v)
+    }
+
+    fn write_value(v: &Value, out: &mut String, indent: Option<usize>, depth: usize) {
+        match v {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::U64(n) => out.push_str(&n.to_string()),
+            Value::I64(n) => out.push_str(&n.to_string()),
+            Value::F64(x) => {
+                if x.is_finite() {
+                    out.push_str(&x.to_string());
+                } else {
+                    // Match serde_json: non-finite floats become null.
+                    out.push_str("null");
+                }
+            }
+            Value::Str(s) => write_string(s, out),
+            Value::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, depth + 1);
+                    write_value(item, out, indent, depth + 1);
+                }
+                if !items.is_empty() {
+                    newline_indent(out, indent, depth);
+                }
+                out.push(']');
+            }
+            Value::Object(map) => {
+                out.push('{');
+                for (i, (k, item)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, depth + 1);
+                    write_string(k, out);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    write_value(item, out, indent, depth + 1);
+                }
+                if !map.is_empty() {
+                    newline_indent(out, indent, depth);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+        if let Some(step) = indent {
+            out.push('\n');
+            for _ in 0..step * depth {
+                out.push(' ');
+            }
+        }
+    }
+
+    fn write_string(s: &str, out: &mut String) {
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+
+    struct Parser<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl Parser<'_> {
+        fn skip_ws(&mut self) {
+            while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+                self.pos += 1;
+            }
+        }
+
+        fn peek(&self) -> Option<u8> {
+            self.bytes.get(self.pos).copied()
+        }
+
+        fn eat(&mut self, b: u8) -> Result<(), Error> {
+            if self.peek() == Some(b) {
+                self.pos += 1;
+                Ok(())
+            } else {
+                Err(Error::new(format!(
+                    "expected `{}` at byte {}",
+                    b as char, self.pos
+                )))
+            }
+        }
+
+        fn eat_keyword(&mut self, kw: &str) -> bool {
+            if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+                self.pos += kw.len();
+                true
+            } else {
+                false
+            }
+        }
+
+        fn value(&mut self) -> Result<Value, Error> {
+            match self.peek() {
+                Some(b'n') if self.eat_keyword("null") => Ok(Value::Null),
+                Some(b't') if self.eat_keyword("true") => Ok(Value::Bool(true)),
+                Some(b'f') if self.eat_keyword("false") => Ok(Value::Bool(false)),
+                Some(b'"') => self.string().map(Value::Str),
+                Some(b'[') => self.array(),
+                Some(b'{') => self.object(),
+                Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+                _ => Err(Error::new(format!(
+                    "unexpected character at byte {}",
+                    self.pos
+                ))),
+            }
+        }
+
+        fn array(&mut self) -> Result<Value, Error> {
+            self.eat(b'[')?;
+            let mut items = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b']') {
+                self.pos += 1;
+                return Ok(Value::Array(items));
+            }
+            loop {
+                self.skip_ws();
+                items.push(self.value()?);
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b']') => {
+                        self.pos += 1;
+                        return Ok(Value::Array(items));
+                    }
+                    _ => {
+                        return Err(Error::new(format!(
+                            "expected `,` or `]` at byte {}",
+                            self.pos
+                        )))
+                    }
+                }
+            }
+        }
+
+        fn object(&mut self) -> Result<Value, Error> {
+            self.eat(b'{')?;
+            let mut map = Map::new();
+            self.skip_ws();
+            if self.peek() == Some(b'}') {
+                self.pos += 1;
+                return Ok(Value::Object(map));
+            }
+            loop {
+                self.skip_ws();
+                let key = self.string()?;
+                self.skip_ws();
+                self.eat(b':')?;
+                self.skip_ws();
+                let val = self.value()?;
+                map.insert(key, val);
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b'}') => {
+                        self.pos += 1;
+                        return Ok(Value::Object(map));
+                    }
+                    _ => {
+                        return Err(Error::new(format!(
+                            "expected `,` or `}}` at byte {}",
+                            self.pos
+                        )))
+                    }
+                }
+            }
+        }
+
+        fn string(&mut self) -> Result<String, Error> {
+            self.eat(b'"')?;
+            let mut out = String::new();
+            loop {
+                match self.peek() {
+                    None => return Err(Error::new("unterminated string")),
+                    Some(b'"') => {
+                        self.pos += 1;
+                        return Ok(out);
+                    }
+                    Some(b'\\') => {
+                        self.pos += 1;
+                        match self.peek() {
+                            Some(b'"') => out.push('"'),
+                            Some(b'\\') => out.push('\\'),
+                            Some(b'/') => out.push('/'),
+                            Some(b'b') => out.push('\u{8}'),
+                            Some(b'f') => out.push('\u{c}'),
+                            Some(b'n') => out.push('\n'),
+                            Some(b'r') => out.push('\r'),
+                            Some(b't') => out.push('\t'),
+                            Some(b'u') => {
+                                self.pos += 1;
+                                let hi = self.hex4()?;
+                                let c = if (0xD800..0xDC00).contains(&hi) {
+                                    // Surrogate pair: expect \uXXXX low half.
+                                    if !(self.eat(b'\\').is_ok() && self.eat(b'u').is_ok()) {
+                                        return Err(Error::new("lone high surrogate"));
+                                    }
+                                    let lo = self.hex4()?;
+                                    let code = 0x10000
+                                        + ((hi - 0xD800) << 10)
+                                        + lo.checked_sub(0xDC00)
+                                            .ok_or_else(|| Error::new("invalid low surrogate"))?;
+                                    char::from_u32(code)
+                                } else {
+                                    char::from_u32(hi)
+                                };
+                                out.push(c.ok_or_else(|| Error::new("invalid \\u escape"))?);
+                                // hex4 leaves pos past the digits; skip the
+                                // shared `pos += 1` below.
+                                continue;
+                            }
+                            _ => return Err(Error::new("invalid escape")),
+                        }
+                        self.pos += 1;
+                    }
+                    Some(_) => {
+                        // Consume one UTF-8 scalar (input is a &str, so
+                        // slicing on char boundaries is safe via chars()).
+                        let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                            .map_err(|_| Error::new("invalid utf-8"))?;
+                        let c = rest.chars().next().unwrap();
+                        out.push(c);
+                        self.pos += c.len_utf8();
+                    }
+                }
+            }
+        }
+
+        fn hex4(&mut self) -> Result<u32, Error> {
+            let end = self.pos + 4;
+            if end > self.bytes.len() {
+                return Err(Error::new("truncated \\u escape"));
+            }
+            let s = std::str::from_utf8(&self.bytes[self.pos..end])
+                .map_err(|_| Error::new("invalid \\u escape"))?;
+            let v = u32::from_str_radix(s, 16).map_err(|_| Error::new("invalid \\u escape"))?;
+            self.pos = end;
+            Ok(v)
+        }
+
+        fn number(&mut self) -> Result<Value, Error> {
+            let start = self.pos;
+            if self.peek() == Some(b'-') {
+                self.pos += 1;
+            }
+            let mut is_float = false;
+            while let Some(c) = self.peek() {
+                match c {
+                    b'0'..=b'9' => self.pos += 1,
+                    b'.' | b'e' | b'E' | b'+' | b'-' => {
+                        is_float = true;
+                        self.pos += 1;
+                    }
+                    _ => break,
+                }
+            }
+            let text = std::str::from_utf8(&self.bytes[start..self.pos])
+                .map_err(|_| Error::new("invalid number"))?;
+            if is_float {
+                text.parse::<f64>()
+                    .map(Value::F64)
+                    .map_err(|_| Error::new(format!("invalid number `{text}`")))
+            } else if text.starts_with('-') {
+                text.parse::<i64>()
+                    .map(Value::I64)
+                    .or_else(|_| text.parse::<f64>().map(Value::F64))
+                    .map_err(|_| Error::new(format!("invalid number `{text}`")))
+            } else {
+                text.parse::<u64>()
+                    .map(Value::U64)
+                    .or_else(|_| text.parse::<f64>().map(Value::F64))
+                    .map_err(|_| Error::new(format!("invalid number `{text}`")))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_json_round_trip() {
+        let mut obj = Map::new();
+        obj.insert("pi".into(), Value::F64(3.25));
+        obj.insert("n".into(), Value::U64(42));
+        obj.insert("neg".into(), Value::I64(-7));
+        obj.insert(
+            "arr".into(),
+            Value::Array(vec![
+                Value::Null,
+                Value::Bool(true),
+                Value::Str("x\n\"".into()),
+            ]),
+        );
+        obj.insert("empty".into(), Value::Object(Map::new()));
+        let v = Value::Object(obj);
+        let text = json::to_string(&v);
+        assert_eq!(json::parse(&text).unwrap(), v);
+        let pretty = json::to_string_pretty(&v);
+        assert_eq!(json::parse(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn typed_impls_round_trip() {
+        let data: (Vec<u32>, Option<String>, [f64; 3], i32) =
+            (vec![1, 2, 3], Some("hé\t".into()), [0.5, -1.5, 2.0], -9);
+        let text = json::to_string(&data.to_value());
+        let back: (Vec<u32>, Option<String>, [f64; 3], i32) = json::from_str(&text).unwrap();
+        assert_eq!(back, data);
+
+        let mut m: BTreeMap<String, f64> = BTreeMap::new();
+        m.insert("a.b".into(), 1.25);
+        m.insert("c".into(), -0.5);
+        let back: BTreeMap<String, f64> = json::from_str(&json::to_string(&m)).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn integral_floats_survive_via_integer_values() {
+        // `2.0f64` prints as `2`, parses as U64 — f64 deserialize accepts it.
+        let x = 2.0f64;
+        let text = json::to_string(&x.to_value());
+        assert_eq!(text, "2");
+        let back: f64 = json::from_str(&text).unwrap();
+        assert_eq!(back, 2.0);
+    }
+
+    #[test]
+    fn unicode_escapes_parse() {
+        let raw: String = json::from_str(r#""aé😀b""#).unwrap();
+        assert_eq!(raw, "aé😀b");
+        // \u escapes, including a surrogate pair for U+1F600.
+        let esc: String = json::from_str(r#""a\u00e9\ud83d\ude00b""#).unwrap();
+        assert_eq!(esc, "aé😀b");
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(json::parse("{\"a\": }").is_err());
+        assert!(json::parse("[1, 2").is_err());
+        assert!(json::parse("12 34").is_err());
+        assert!(json::from_str::<u64>("-3").is_err());
+    }
+}

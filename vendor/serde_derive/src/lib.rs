@@ -1,0 +1,463 @@
+//! Offline drop-in subset of `serde_derive` (see `vendor/README.md`).
+//!
+//! Hand-parses the item token stream — no `syn`/`quote` — and emits
+//! `impl serde::Serialize` / `impl serde::Deserialize` blocks matching
+//! the sibling `serde` stub's `Value`-based traits. Supports the shapes
+//! this workspace derives on:
+//!
+//! * structs with named fields (including `#[serde(default)]` fields),
+//!   tuple/newtype structs, and unit structs;
+//! * enums with unit, tuple and struct variants, externally tagged as
+//!   serde_json does by default.
+//!
+//! Out of scope (fails with `compile_error!`): generic types, and any
+//! `#[serde(...)]` option other than field-level `default`. Fields with
+//! function-pointer types would confuse the angle-bracket tracker used
+//! to split fields; none exist in this workspace.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize` (stub: renders into `serde::Value`).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+/// Derive `serde::Deserialize` (stub: rebuilds from `serde::Value`).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, generate: fn(&Item) -> String) -> TokenStream {
+    let code = match parse_item(input) {
+        Ok(item) => generate(&item),
+        Err(msg) => format!("compile_error!({msg:?});"),
+    };
+    code.parse()
+        .expect("serde_derive stub generated invalid Rust")
+}
+
+struct Field {
+    name: String,
+    default: bool,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Shape {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs(&toks, &mut i);
+    skip_vis(&toks, &mut i);
+    let kw = ident_at(&toks, i).ok_or("expected `struct` or `enum`")?;
+    i += 1;
+    let name = ident_at(&toks, i).ok_or("expected type name")?;
+    i += 1;
+    if punct_at(&toks, i, '<') {
+        return Err(format!(
+            "serde stub derive does not support generic type `{name}`"
+        ));
+    }
+    let shape = match kw.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            _ => return Err(format!("unsupported struct body for `{name}`")),
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream())?)
+            }
+            _ => return Err(format!("expected enum body for `{name}`")),
+        },
+        other => return Err(format!("cannot derive serde impls for `{other}`")),
+    };
+    Ok(Item { name, shape })
+}
+
+fn ident_at(toks: &[TokenTree], i: usize) -> Option<String> {
+    match toks.get(i) {
+        Some(TokenTree::Ident(id)) => Some(id.to_string()),
+        _ => None,
+    }
+}
+
+fn punct_at(toks: &[TokenTree], i: usize, ch: char) -> bool {
+    matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ch)
+}
+
+/// Skip `#[...]` attributes starting at `*i`, reporting whether any of
+/// them was `#[serde(default)]` (possibly among a comma list).
+fn skip_attrs_collect_default(toks: &[TokenTree], i: &mut usize) -> bool {
+    let mut default = false;
+    while punct_at(toks, *i, '#') {
+        if let Some(TokenTree::Group(g)) = toks.get(*i + 1) {
+            default |= attr_has_serde_default(g);
+            *i += 2;
+        } else {
+            *i += 1; // malformed; let rustc report it
+        }
+    }
+    default
+}
+
+fn skip_attrs(toks: &[TokenTree], i: &mut usize) {
+    skip_attrs_collect_default(toks, i);
+}
+
+fn skip_vis(toks: &[TokenTree], i: &mut usize) {
+    if ident_at(toks, *i).as_deref() == Some("pub") {
+        *i += 1;
+        if matches!(toks.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1; // pub(crate), pub(super), ...
+        }
+    }
+}
+
+fn attr_has_serde_default(bracket: &proc_macro::Group) -> bool {
+    let inner: Vec<TokenTree> = bracket.stream().into_iter().collect();
+    match (inner.first(), inner.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args))) if id.to_string() == "serde" => {
+            args.stream()
+                .into_iter()
+                .any(|tt| matches!(tt, TokenTree::Ident(id) if id.to_string() == "default"))
+        }
+        _ => false,
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < toks.len() {
+        let default = skip_attrs_collect_default(&toks, &mut i);
+        skip_vis(&toks, &mut i);
+        let name = ident_at(&toks, i).ok_or("expected field name")?;
+        i += 1;
+        if !punct_at(&toks, i, ':') {
+            return Err(format!("expected `:` after field `{name}`"));
+        }
+        i += 1;
+        skip_type_until_comma(&toks, &mut i);
+        fields.push(Field { name, default });
+    }
+    Ok(fields)
+}
+
+/// Advance past a type, stopping after the next comma that sits outside
+/// all `<...>` nesting (bracket/paren nesting is invisible: those are
+/// single `Group` tokens).
+fn skip_type_until_comma(toks: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0i32;
+    while *i < toks.len() {
+        match &toks[*i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                *i += 1;
+                return;
+            }
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+/// Count fields of a tuple struct / tuple variant: non-empty segments
+/// between top-level commas.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut angle_depth = 0i32;
+    let mut count = 0;
+    let mut segment_has_tokens = false;
+    for tt in stream {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                angle_depth += 1;
+                segment_has_tokens = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth -= 1;
+                segment_has_tokens = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                if segment_has_tokens {
+                    count += 1;
+                }
+                segment_has_tokens = false;
+            }
+            _ => segment_has_tokens = true,
+        }
+    }
+    if segment_has_tokens {
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < toks.len() {
+        skip_attrs(&toks, &mut i);
+        let name = ident_at(&toks, i).ok_or("expected variant name")?;
+        i += 1;
+        let kind = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Named(parse_named_fields(g.stream())?)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an optional `= discriminant` and the separating comma.
+        skip_type_until_comma(&toks, &mut i);
+        variants.push(Variant { name, kind });
+    }
+    Ok(variants)
+}
+
+// --------------------------------------------------------------- codegen
+
+const SER_HEADER: &str = "#[automatically_derived]\nimpl ::serde::Serialize for ";
+const DE_HEADER: &str = "#[automatically_derived]\nimpl ::serde::Deserialize for ";
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let mut b = String::from("let mut __m = ::serde::Map::new();\n");
+            for f in fields {
+                b.push_str(&format!(
+                    "__m.insert(::std::string::String::from({n:?}), \
+                     ::serde::Serialize::to_value(&self.{n}));\n",
+                    n = f.name
+                ));
+            }
+            b.push_str("::serde::Value::Object(__m)");
+            b
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+        }
+        Shape::UnitStruct => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::Str(::std::string::String::from({vn:?})),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => {{\n\
+                             let mut __o = ::serde::Map::new();\n\
+                             __o.insert(::std::string::String::from({vn:?}), {inner});\n\
+                             ::serde::Value::Object(__o)\n}}\n",
+                            binds.join(", ")
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let mut inner = String::from("let mut __v = ::serde::Map::new();\n");
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "__v.insert(::std::string::String::from({n:?}), \
+                                 ::serde::Serialize::to_value({n}));\n",
+                                n = f.name
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => {{\n{inner}\
+                             let mut __o = ::serde::Map::new();\n\
+                             __o.insert(::std::string::String::from({vn:?}), ::serde::Value::Object(__v));\n\
+                             ::serde::Value::Object(__o)\n}}\n",
+                            binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!("{SER_HEADER}{name} {{\nfn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n")
+}
+
+fn gen_field_get(ty: &str, map: &str, f: &Field) -> String {
+    if f.default {
+        format!(
+            "{n}: match {map}.get({n:?}) {{\n\
+             ::std::option::Option::Some(__x) => ::serde::Deserialize::from_value(__x)?,\n\
+             ::std::option::Option::None => ::std::default::Default::default(),\n}},\n",
+            n = f.name
+        )
+    } else {
+        format!(
+            "{n}: match {map}.get({n:?}) {{\n\
+             ::std::option::Option::Some(__x) => ::serde::Deserialize::from_value(__x)?,\n\
+             ::std::option::Option::None => return ::std::result::Result::Err(\
+             ::serde::Error::missing_field({ty:?}, {n:?})),\n}},\n",
+            n = f.name
+        )
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let mut b = format!(
+                "let __m = match __v {{\n\
+                 ::serde::Value::Object(m) => m,\n\
+                 _ => return ::std::result::Result::Err(\
+                 ::serde::Error::expected(\"map for struct {name}\", __v)),\n}};\n\
+                 ::std::result::Result::Ok({name} {{\n"
+            );
+            for f in fields {
+                b.push_str(&gen_field_get(name, "__m", f));
+            }
+            b.push_str("})");
+            b
+        }
+        Shape::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Shape::TupleStruct(n) => {
+            let gets: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__a[{i}])?"))
+                .collect();
+            format!(
+                "let __a = match __v {{\n\
+                 ::serde::Value::Array(a) if a.len() == {n} => a,\n\
+                 _ => return ::std::result::Result::Err(\
+                 ::serde::Error::expected(\"array of {n} for struct {name}\", __v)),\n}};\n\
+                 ::std::result::Result::Ok({name}({}))",
+                gets.join(", ")
+            )
+        }
+        Shape::UnitStruct => format!(
+            "match __v {{\n\
+             ::serde::Value::Null => ::std::result::Result::Ok({name}),\n\
+             _ => ::std::result::Result::Err(\
+             ::serde::Error::expected(\"null for unit struct {name}\", __v)),\n}}"
+        ),
+        Shape::Enum(variants) => {
+            let has_payload = variants
+                .iter()
+                .any(|v| !matches!(v.kind, VariantKind::Unit));
+            let mut unit_arms = String::new();
+            let mut payload_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => unit_arms.push_str(&format!(
+                        "{vn:?} => ::std::result::Result::Ok({name}::{vn}),\n"
+                    )),
+                    VariantKind::Tuple(1) => payload_arms.push_str(&format!(
+                        "{vn:?} => ::std::result::Result::Ok({name}::{vn}(\
+                         ::serde::Deserialize::from_value(__payload)?)),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let gets: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&__a[{i}])?"))
+                            .collect();
+                        payload_arms.push_str(&format!(
+                            "{vn:?} => {{\n\
+                             let __a = match __payload {{\n\
+                             ::serde::Value::Array(a) if a.len() == {n} => a,\n\
+                             _ => return ::std::result::Result::Err(\
+                             ::serde::Error::expected(\"array of {n} for variant {vn}\", __payload)),\n}};\n\
+                             ::std::result::Result::Ok({name}::{vn}({}))\n}}\n",
+                            gets.join(", ")
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let mut b = format!(
+                            "{vn:?} => {{\n\
+                             let __f = match __payload {{\n\
+                             ::serde::Value::Object(m) => m,\n\
+                             _ => return ::std::result::Result::Err(\
+                             ::serde::Error::expected(\"map for variant {vn}\", __payload)),\n}};\n\
+                             ::std::result::Result::Ok({name}::{vn} {{\n"
+                        );
+                        for f in fields {
+                            b.push_str(&gen_field_get(name, "__f", f));
+                        }
+                        b.push_str("})\n}\n");
+                        payload_arms.push_str(&b);
+                    }
+                }
+            }
+            let payload_binding = if has_payload { "__payload" } else { "_" };
+            format!(
+                "match __v {{\n\
+                 ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\
+                 __other => ::std::result::Result::Err(\
+                 ::serde::Error::unknown_variant({name:?}, __other)),\n}},\n\
+                 ::serde::Value::Object(__m) if __m.len() == 1 => {{\n\
+                 let (__k, {payload_binding}) = __m.iter().next().expect(\"len checked\");\n\
+                 match __k.as_str() {{\n\
+                 {payload_arms}\
+                 __other => ::std::result::Result::Err(\
+                 ::serde::Error::unknown_variant({name:?}, __other)),\n}}\n}}\n\
+                 _ => ::std::result::Result::Err(::serde::Error::expected(\
+                 \"string or single-key map for enum {name}\", __v)),\n}}"
+            )
+        }
+    };
+    format!(
+        "{DE_HEADER}{name} {{\n\
+         fn from_value(__v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n}}\n"
+    )
+}
