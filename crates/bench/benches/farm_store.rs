@@ -1,0 +1,60 @@
+//! Cost of the `ptb-farm` cache layer: computing a content-address key,
+//! storing a report, and serving a warm hit. The point of the farm is
+//! that a warm `get` is orders of magnitude cheaper than the simulation
+//! it replaces, so the absolute numbers here (microseconds) are what a
+//! cached figure point costs instead of a full run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ptb_core::{MechanismKind, PtbPolicy, SimConfig};
+use ptb_farm::{FarmJob, ResultStore, StoreLookup};
+use ptb_workloads::{Benchmark, Scale};
+use std::hint::black_box;
+
+fn job() -> FarmJob {
+    FarmJob::new(
+        Benchmark::Fft,
+        SimConfig {
+            n_cores: 4,
+            scale: Scale::Test,
+            mechanism: MechanismKind::PtbTwoLevel {
+                policy: PtbPolicy::ToAll,
+                relax: 0.0,
+            },
+            ..SimConfig::default()
+        },
+    )
+}
+
+fn bench_farm_store(c: &mut Criterion) {
+    let mut g = c.benchmark_group("farm_store");
+
+    g.bench_function("key", |b| {
+        let j = job();
+        b.iter(|| black_box(j.key()));
+    });
+
+    let dir = std::env::temp_dir().join(format!("ptb-bench-farm-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let store = ResultStore::open(&dir).expect("open store");
+    let j = job();
+    let key = j.key();
+    let report = j.simulate();
+
+    g.bench_function("put", |b| {
+        b.iter(|| store.put(black_box(&key), &j, &report).expect("put"));
+    });
+
+    g.bench_function("get_hit", |b| {
+        store.put(&key, &j, &report).expect("put");
+        b.iter(|| match store.get(black_box(&key), &j) {
+            StoreLookup::Hit(r) => black_box(r),
+            other => panic!("expected hit, got {other:?}"),
+        });
+    });
+
+    g.finish();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+criterion_group!(benches, bench_farm_store);
+criterion_main!(benches);

@@ -161,6 +161,20 @@ pub struct SimConfig {
     pub thermal: ThermalParams,
 }
 
+impl SimConfig {
+    /// Canonical serialisation of this configuration: compact JSON with
+    /// object keys in sorted order, suitable as hash material for
+    /// content-addressed result caching (`ptb-farm`).
+    ///
+    /// Two configs that compare field-for-field equal always produce the
+    /// same string, independent of field declaration order, because the
+    /// serde `Value` tree keeps objects in a sorted map.
+    pub fn canonical_json(&self) -> String {
+        use serde::Serialize as _;
+        serde::json::to_string(&self.to_value())
+    }
+}
+
 impl Default for SimConfig {
     fn default() -> Self {
         SimConfig {
@@ -226,6 +240,31 @@ mod tests {
         .collect();
         let unique: std::collections::HashSet<_> = labels.iter().collect();
         assert_eq!(unique.len(), labels.len());
+    }
+
+    #[test]
+    fn canonical_json_is_stable_and_discriminating() {
+        let a = SimConfig::default();
+        let b = SimConfig::default();
+        assert_eq!(a.canonical_json(), b.canonical_json());
+        let c = SimConfig {
+            n_cores: 8,
+            ..SimConfig::default()
+        };
+        assert_ne!(a.canonical_json(), c.canonical_json());
+        let d = SimConfig {
+            mechanism: MechanismKind::PtbTwoLevel {
+                policy: PtbPolicy::ToAll,
+                relax: 0.0,
+            },
+            ..SimConfig::default()
+        };
+        assert_ne!(a.canonical_json(), d.canonical_json());
+        // Canonical form must round-trip: the farm compares the stored
+        // config tree against the requested one on every cache hit.
+        let v = serde::json::parse(&a.canonical_json()).unwrap();
+        let back = SimConfig::from_value(&v).unwrap();
+        assert_eq!(back.canonical_json(), a.canonical_json());
     }
 
     #[test]

@@ -5,6 +5,16 @@ use crate::trace::PowerTrace;
 use ptb_isa::CtxState;
 use serde::{Deserialize, Serialize};
 
+/// Schema version of [`RunReport`]'s serialised form.
+///
+/// Bump this whenever the report schema changes meaning (fields added
+/// with changed semantics, units changed, metrics redefined). Cached
+/// results in a `ptb-farm` store embed this version in their content
+/// hash, so bumping it invalidates every previously stored report
+/// without touching the store on disk. Purely additive `#[serde(default)]`
+/// fields whose absence is semantically equivalent do not need a bump.
+pub const REPORT_FORMAT: u32 = 1;
+
 /// Per-core outcome of a run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CoreReport {

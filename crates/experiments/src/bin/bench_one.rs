@@ -14,12 +14,12 @@ use ptb_workloads::Benchmark;
 fn main() {
     let mut args: Vec<String> = std::env::args().collect();
     let obs = ObsArgs::parse(&mut args);
+    let runner = Runner::from_env_args(&mut args);
     let bench = args
         .get(1)
         .and_then(|s| Benchmark::from_name(s))
         .unwrap_or(Benchmark::Fft);
     let cores = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(16);
-    let runner = Runner::from_env();
     let t0 = std::time::Instant::now();
     let base = obs.run_one(&runner, Job::new(bench, MechanismKind::None, cores));
     let dt = t0.elapsed();

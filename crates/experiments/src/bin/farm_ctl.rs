@@ -1,0 +1,97 @@
+//! Operate on a `ptb-farm` result store without re-running a figure.
+//!
+//! ```text
+//! farm_ctl status            # entry count, pending jobs, store location
+//! farm_ctl resume            # run exactly the journal's unfinished jobs
+//! farm_ctl verify            # integrity-scan every entry, drop bad ones
+//! farm_ctl gc                # verify + compact the journal
+//! ```
+//!
+//! All subcommands honour `PTB_FARM_DIR` and the shared `--farm-dir
+//! PATH` flag; `resume` uses `PTB_JOBS` worker threads. Farm outcome
+//! counters are printed in the `farm.*` namespace via `ptb-obs`.
+
+use ptb_experiments::Runner;
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().collect();
+    let runner = Runner::from_env_args(&mut args);
+    let Some(farm) = &runner.farm else {
+        eprintln!("error: no farm available (PTB_NO_CACHE set, or store unopenable)");
+        std::process::exit(2);
+    };
+    let cmd = args.get(1).map(String::as_str).unwrap_or("status");
+    match cmd {
+        "status" => {
+            let keys = farm.store().keys().unwrap_or_default();
+            let pending = farm.pending().unwrap_or_default();
+            println!("farm store: {}", farm.dir().display());
+            println!("  entries:  {}", keys.len());
+            println!("  pending:  {}", pending.len());
+            for (key, job) in &pending {
+                println!("    {} {}", &key[..12.min(key.len())], job.label());
+            }
+        }
+        "resume" => {
+            let pending = farm.pending().unwrap_or_default();
+            if pending.is_empty() {
+                println!("nothing to resume");
+                return;
+            }
+            println!("resuming {} unfinished jobs…", pending.len());
+            match farm.resume(runner.jobs) {
+                Ok(done) => {
+                    for (key, report) in &done {
+                        println!(
+                            "  {} {}/{}c: {} cycles",
+                            &key[..12.min(key.len())],
+                            report.benchmark,
+                            report.n_cores,
+                            report.cycles
+                        );
+                    }
+                    print_counters(farm);
+                }
+                Err(e) => {
+                    eprintln!("error: resume failed: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        "verify" | "gc" => {
+            match farm.verify() {
+                Ok((ok, dropped)) => {
+                    println!("verified {ok} entries, dropped {dropped}");
+                }
+                Err(e) => {
+                    eprintln!("error: verify failed: {e}");
+                    std::process::exit(1);
+                }
+            }
+            if cmd == "gc" {
+                // Reopening compacts the journal when nothing is pending.
+                let pending = farm.pending().unwrap_or_default();
+                if pending.is_empty() {
+                    if let Err(e) = ptb_farm::Journal::truncate(farm.dir().join("journal.jsonl")) {
+                        eprintln!("warning: cannot compact journal: {e}");
+                    } else {
+                        println!("journal compacted");
+                    }
+                } else {
+                    println!("journal kept: {} jobs still pending", pending.len());
+                }
+            }
+            print_counters(farm);
+        }
+        other => {
+            eprintln!("error: unknown subcommand {other:?} (status|resume|verify|gc)");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn print_counters(farm: &ptb_farm::Farm) {
+    let mut registry = ptb_obs::CounterRegistry::new();
+    registry.merge(&farm.stats().counters());
+    print!("{}", registry.to_table("farm counters").to_text());
+}

@@ -13,7 +13,8 @@ use ptb_metrics::{mean, Table};
 use ptb_workloads::Benchmark;
 
 fn main() {
-    let runner = Runner::from_env();
+    let mut args: Vec<String> = std::env::args().collect();
+    let runner = Runner::from_env_args(&mut args);
     let n = runner.default_cores();
     let mechs = [
         MechanismKind::Dvfs,

@@ -14,7 +14,8 @@ use ptb_workloads::Benchmark;
 const CORE_COUNTS: [usize; 4] = [2, 4, 8, 16];
 
 fn main() {
-    let runner = Runner::from_env();
+    let mut args: Vec<String> = std::env::args().collect();
+    let runner = Runner::from_env_args(&mut args);
     let mut jobs = Vec::new();
     for bench in Benchmark::ALL {
         for n in CORE_COUNTS {

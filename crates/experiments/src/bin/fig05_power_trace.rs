@@ -15,7 +15,7 @@ use ptb_workloads::Benchmark;
 fn main() {
     let mut args: Vec<String> = std::env::args().collect();
     let obs = ObsArgs::parse(&mut args);
-    let runner = Runner::from_env();
+    let runner = Runner::from_env_args(&mut args);
     let n = 4; // small CMP so per-core curves are readable, as in Fig. 5
     let cfg = SimConfig {
         n_cores: n,

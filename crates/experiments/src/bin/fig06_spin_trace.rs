@@ -48,7 +48,8 @@ fn spin_workload() -> WorkloadSpec {
 }
 
 fn main() {
-    let runner = Runner::from_env();
+    let mut args: Vec<String> = std::env::args().collect();
+    let runner = Runner::from_env_args(&mut args);
     let cfg = SimConfig {
         n_cores: 2,
         mechanism: MechanismKind::None,

@@ -27,7 +27,7 @@ use ptb_uarch::CoreConfig;
 fn main() {
     let mut args: Vec<String> = std::env::args().collect();
     let obs_args = ObsArgs::parse(&mut args);
-    let runner = Runner::from_env();
+    let runner = Runner::from_env_args(&mut args);
     let n = 4;
     let params = PowerParams::default();
     let budget = BudgetSpec::new(&params, &CoreConfig::default(), n, 0.5);

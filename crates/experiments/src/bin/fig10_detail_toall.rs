@@ -10,6 +10,7 @@ use ptb_core::PtbPolicy;
 use ptb_experiments::{detail_figure, Runner};
 
 fn main() {
-    let runner = Runner::from_env();
+    let mut args: Vec<String> = std::env::args().collect();
+    let runner = Runner::from_env_args(&mut args);
     detail_figure(&runner, PtbPolicy::ToAll, 0.0, "fig10_toall", "Figure 10");
 }

@@ -10,7 +10,8 @@ use ptb_core::PtbPolicy;
 use ptb_experiments::{detail_figure, Runner};
 
 fn main() {
-    let runner = Runner::from_env();
+    let mut args: Vec<String> = std::env::args().collect();
+    let runner = Runner::from_env_args(&mut args);
     detail_figure(
         &runner,
         PtbPolicy::Dynamic,

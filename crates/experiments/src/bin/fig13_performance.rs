@@ -9,7 +9,8 @@ use ptb_core::PtbPolicy;
 use ptb_experiments::{detail_figure, emit, slowdown_table, Runner};
 
 fn main() {
-    let runner = Runner::from_env();
+    let mut args: Vec<String> = std::env::args().collect();
+    let runner = Runner::from_env_args(&mut args);
     let (jobs, reports) = detail_figure(
         &runner,
         PtbPolicy::Dynamic,

@@ -17,7 +17,8 @@ const CORE_COUNTS: [usize; 4] = [2, 4, 8, 16];
 const RELAX: [f64; 3] = [0.0, 0.2, 0.3];
 
 fn main() {
-    let runner = Runner::from_env();
+    let mut args: Vec<String> = std::env::args().collect();
+    let runner = Runner::from_env_args(&mut args);
     let mut jobs: Vec<Job> = Vec::new();
     let push = |j: Job, jobs: &mut Vec<Job>| {
         if !jobs.contains(&j) {

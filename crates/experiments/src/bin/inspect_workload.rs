@@ -8,8 +8,8 @@ use ptb_metrics::Table;
 use ptb_workloads::{Benchmark, FlatStmt};
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let runner = Runner::from_env();
+    let mut args: Vec<String> = std::env::args().collect();
+    let runner = Runner::from_env_args(&mut args);
     let benches: Vec<Benchmark> = match args.get(1).map(|s| s.as_str()) {
         Some(name) => vec![Benchmark::from_name(name).expect("unknown benchmark")],
         None => Benchmark::ALL.to_vec(),

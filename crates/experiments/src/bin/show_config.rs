@@ -8,7 +8,8 @@ use ptb_metrics::Table;
 use ptb_workloads::{Benchmark, Scale};
 
 fn main() {
-    let runner = Runner::from_env();
+    let mut args: Vec<String> = std::env::args().collect();
+    let runner = Runner::from_env_args(&mut args);
     let cfg = SimConfig::default();
 
     let mut t1 = Table::new(

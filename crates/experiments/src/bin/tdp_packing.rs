@@ -8,7 +8,8 @@ use ptb_experiments::{emit, Runner};
 use ptb_metrics::{cores_within_tdp, Table};
 
 fn main() {
-    let runner = Runner::from_env();
+    let mut args: Vec<String> = std::env::args().collect();
+    let runner = Runner::from_env_args(&mut args);
     let tdp = 100.0;
     let per_core_budget = 3.125; // 100W/16 cores at a 50% budget
     let mut t = Table::new(

@@ -8,10 +8,19 @@
 //!
 //! Environment knobs (all optional):
 //! * `PTB_SCALE` — `test` | `small` (default) | `large`;
-//! * `PTB_JOBS` — worker threads (default: available parallelism);
+//! * `PTB_JOBS` — worker threads (default: available parallelism;
+//!   `0` is rejected);
 //! * `PTB_OUT` — output directory for `.txt`/`.csv` artefacts
 //!   (default `target/figures`);
-//! * `PTB_CORES` — override the core count of single-core-count figures.
+//! * `PTB_CORES` — override the core count of single-core-count figures;
+//! * `PTB_FARM_DIR` — `ptb-farm` result store location (default
+//!   `target/farm`); previously simulated points load from it instead
+//!   of re-simulating, so re-running figure binaries is incremental;
+//! * `PTB_NO_CACHE` — set to disable the farm entirely.
+//!
+//! Every binary also accepts `--no-cache` and `--farm-dir PATH` flags
+//! (see [`Runner::from_env_args`]) and the `farm_ctl` binary inspects,
+//! resumes, verifies, or garbage-collects a farm store.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

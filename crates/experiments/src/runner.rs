@@ -1,7 +1,15 @@
 //! Parallel sweep execution and artefact emission.
+//!
+//! Sweeps route through the `ptb-farm` content-addressed result store
+//! by default: previously simulated points load from disk, misses run
+//! in parallel on the farm's work-stealing executor, and every batch
+//! prints a one-line `[farm]` hit/miss summary to stderr. Set
+//! `PTB_NO_CACHE=1` (or pass `--no-cache`) for the uncached in-process
+//! thread pool.
 
 use parking_lot::Mutex;
 use ptb_core::{MechanismKind, RunReport, SimConfig, Simulation};
+use ptb_farm::{Farm, FarmJob};
 use ptb_metrics::Table;
 use ptb_workloads::{Benchmark, Scale};
 use std::collections::VecDeque;
@@ -40,24 +48,71 @@ pub struct Runner {
     pub jobs: usize,
     /// Artefact output directory.
     pub out_dir: PathBuf,
+    /// Result farm (content-addressed cache + journal); `None` runs
+    /// every simulation in-process without persistence.
+    pub farm: Option<Farm>,
+}
+
+/// Parse a `PTB_SCALE` value. `Err` carries a warning for unparsable
+/// input (the caller decides where to print it).
+fn parse_scale(raw: Option<&str>) -> Result<Scale, String> {
+    match raw {
+        None => Ok(Scale::Small),
+        Some("test") => Ok(Scale::Test),
+        Some("small") => Ok(Scale::Small),
+        Some("large") => Ok(Scale::Large),
+        Some(other) => Err(format!(
+            "unparsable PTB_SCALE={other:?} (expected test|small|large); using small"
+        )),
+    }
+}
+
+/// Parse a `PTB_JOBS` value against a fallback. `Err(None)` means the
+/// value was rejected outright (zero); `Err(Some(_))` carries a warning
+/// and the caller should fall back.
+fn parse_jobs(raw: Option<&str>) -> Result<Option<usize>, Option<String>> {
+    match raw {
+        None => Ok(None),
+        Some(s) => match s.parse::<usize>() {
+            Ok(0) => Err(None),
+            Ok(n) => Ok(Some(n)),
+            Err(_) => Err(Some(format!(
+                "unparsable PTB_JOBS={s:?}; using available parallelism"
+            ))),
+        },
+    }
 }
 
 impl Runner {
     /// Configure from the environment (see crate docs).
+    ///
+    /// `PTB_JOBS=0` is rejected (process exit 2); unparsable
+    /// `PTB_SCALE`/`PTB_JOBS` values warn on stderr and fall back to
+    /// their defaults instead of being silently ignored.
     pub fn from_env() -> Self {
-        let scale = match std::env::var("PTB_SCALE").as_deref() {
-            Ok("test") => Scale::Test,
-            Ok("large") => Scale::Large,
-            _ => Scale::Small,
+        let scale_var = std::env::var("PTB_SCALE").ok();
+        let scale = parse_scale(scale_var.as_deref()).unwrap_or_else(|warning| {
+            eprintln!("warning: {warning}");
+            Scale::Small
+        });
+        let default_jobs = || {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(4)
         };
-        let jobs = std::env::var("PTB_JOBS")
-            .ok()
-            .and_then(|s| s.parse().ok())
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism()
-                    .map(|p| p.get())
-                    .unwrap_or(4)
-            });
+        let jobs_var = std::env::var("PTB_JOBS").ok();
+        let jobs = match parse_jobs(jobs_var.as_deref()) {
+            Ok(Some(n)) => n,
+            Ok(None) => default_jobs(),
+            Err(None) => {
+                eprintln!("error: PTB_JOBS must be at least 1, got 0");
+                std::process::exit(2);
+            }
+            Err(Some(warning)) => {
+                eprintln!("warning: {warning}");
+                default_jobs()
+            }
+        };
         let out_dir = std::env::var("PTB_OUT")
             .map(PathBuf::from)
             .unwrap_or_else(|_| PathBuf::from("target/figures"));
@@ -65,7 +120,61 @@ impl Runner {
             scale,
             jobs,
             out_dir,
+            farm: Farm::from_env(),
         }
+    }
+
+    /// [`Runner::from_env`] plus the shared farm CLI flags, stripped
+    /// from `argv` (both `--flag value` and `--flag=value` forms) so
+    /// each binary's positional parsing runs on what remains:
+    ///
+    /// * `--no-cache` — bypass the farm entirely (like `PTB_NO_CACHE`);
+    /// * `--farm-dir PATH` — store location (overrides `PTB_FARM_DIR`).
+    pub fn from_env_args(argv: &mut Vec<String>) -> Self {
+        let mut no_cache = false;
+        let mut farm_dir: Option<PathBuf> = None;
+        let mut i = 0;
+        while i < argv.len() {
+            let (flag, inline) = match argv[i].split_once('=') {
+                Some((f, v)) => (f.to_owned(), Some(v.to_owned())),
+                None => (argv[i].clone(), None),
+            };
+            match flag.as_str() {
+                "--no-cache" => {
+                    argv.remove(i);
+                    no_cache = true;
+                }
+                "--farm-dir" => {
+                    argv.remove(i);
+                    let value = inline.unwrap_or_else(|| {
+                        if i < argv.len() {
+                            argv.remove(i)
+                        } else {
+                            eprintln!("error: --farm-dir requires a PATH argument");
+                            std::process::exit(2);
+                        }
+                    });
+                    farm_dir = Some(PathBuf::from(value));
+                }
+                _ => i += 1,
+            }
+        }
+        let mut runner = Runner::from_env();
+        if no_cache {
+            runner.farm = None;
+        } else if let Some(dir) = farm_dir {
+            match Farm::open(&dir) {
+                Ok(farm) => runner.farm = Some(farm),
+                Err(e) => {
+                    eprintln!(
+                        "warning: cannot open farm store {}: {e}; running uncached",
+                        dir.display()
+                    );
+                    runner.farm = None;
+                }
+            }
+        }
+        runner
     }
 
     /// Core count for single-core-count figures (paper: 16), overridable
@@ -87,13 +196,27 @@ impl Runner {
         }
     }
 
-    /// Run one job synchronously.
+    fn farm_job(&self, job: &Job) -> FarmJob {
+        FarmJob::new(job.bench, self.config(job))
+    }
+
+    /// Run one job synchronously (served from the farm when possible).
     pub fn run_one(&self, job: Job) -> RunReport {
+        if let Some(farm) = &self.farm {
+            return farm
+                .run_batch(std::slice::from_ref(&self.farm_job(&job)), 1)
+                .pop()
+                .expect("one job in, one report out");
+        }
         self.run_one_observed(job, &mut ptb_obs::NullObserver)
     }
 
     /// Run one job synchronously, streaming simulation events to `obs`
     /// (see [`ptb_obs::SimObserver`]).
+    ///
+    /// Observed runs always simulate live — they neither read nor write
+    /// the farm store, so a cached result can never short-circuit the
+    /// event stream the observer was attached for.
     pub fn run_one_observed<O: ptb_obs::SimObserver>(&self, job: Job, obs: &mut O) -> RunReport {
         Simulation::new(self.config(&job))
             .run_observed(job.bench, obs)
@@ -108,9 +231,26 @@ impl Runner {
     }
 
     /// Run all jobs across worker threads; results come back in job order.
+    ///
+    /// With a farm attached, the batch is deduplicated, cache hits load
+    /// from the store, and only misses simulate (on the farm's
+    /// work-stealing executor); the batch outcome is summarised on
+    /// stderr. Without one, every job simulates in-process.
     pub fn run_all(&self, jobs: &[Job]) -> Vec<RunReport> {
         if jobs.is_empty() {
             return Vec::new();
+        }
+        if let Some(farm) = &self.farm {
+            let fjobs: Vec<FarmJob> = jobs.iter().map(|j| self.farm_job(j)).collect();
+            let before = farm.stats();
+            let reports = farm.run_batch(&fjobs, self.jobs);
+            let batch = farm.stats().since(&before);
+            eprintln!(
+                "[farm] {} (store {})",
+                batch.summary(),
+                farm.dir().display()
+            );
+            return reports;
         }
         let queue: Mutex<VecDeque<usize>> = Mutex::new((0..jobs.len()).collect());
         let results: Mutex<Vec<Option<RunReport>>> = Mutex::new(vec![None; jobs.len()]);
@@ -168,7 +308,19 @@ mod tests {
             scale: Scale::Test,
             jobs: 4,
             out_dir: std::env::temp_dir().join("ptb-figtest"),
+            farm: None,
         }
+    }
+
+    fn farmed_runner(tag: &str) -> (Runner, PathBuf) {
+        let dir =
+            std::env::temp_dir().join(format!("ptb-runner-farm-{}-{tag}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let runner = Runner {
+            farm: Some(Farm::open(&dir).expect("open farm")),
+            ..test_runner()
+        };
+        (runner, dir)
     }
 
     #[test]
@@ -184,6 +336,50 @@ mod tests {
             let serial = r.run_one(*job);
             assert_eq!(serial.cycles, rep.cycles, "{:?}", job);
             assert_eq!(serial.energy_tokens, rep.energy_tokens);
+        }
+    }
+
+    #[test]
+    fn farmed_runner_matches_uncached_and_hits_on_rerun() {
+        let (r, dir) = farmed_runner("rerun");
+        let jobs = vec![
+            Job::new(Benchmark::Fft, MechanismKind::None, 2),
+            Job::new(Benchmark::Fft, MechanismKind::Dvfs, 2),
+        ];
+        let cold = r.run_all(&jobs);
+        let uncached = test_runner();
+        for (job, rep) in jobs.iter().zip(&cold) {
+            let direct = uncached.run_one(*job);
+            assert_eq!(direct.cycles, rep.cycles, "{job:?}");
+        }
+        let warm = r.run_all(&jobs);
+        let stats = r.farm.as_ref().unwrap().stats();
+        assert_eq!(stats.misses, 2, "cold run simulated");
+        assert_eq!(stats.hits, 2, "warm run served from store");
+        for (c, w) in cold.iter().zip(&warm) {
+            assert_eq!(c.cycles, w.cycles);
+            assert_eq!(c.energy_tokens, w.energy_tokens);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn scale_parsing_warns_instead_of_silently_defaulting() {
+        assert_eq!(parse_scale(None), Ok(Scale::Small));
+        assert_eq!(parse_scale(Some("test")), Ok(Scale::Test));
+        assert_eq!(parse_scale(Some("large")), Ok(Scale::Large));
+        let err = parse_scale(Some("meduim")).unwrap_err();
+        assert!(err.contains("meduim"), "{err}");
+    }
+
+    #[test]
+    fn jobs_parsing_rejects_zero_and_flags_garbage() {
+        assert_eq!(parse_jobs(None), Ok(None));
+        assert_eq!(parse_jobs(Some("8")), Ok(Some(8)));
+        assert_eq!(parse_jobs(Some("0")), Err(None), "zero is rejected");
+        match parse_jobs(Some("many")) {
+            Err(Some(w)) => assert!(w.contains("many"), "{w}"),
+            other => panic!("expected warning, got {other:?}"),
         }
     }
 

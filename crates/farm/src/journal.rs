@@ -1,0 +1,183 @@
+//! Append-only job journal for crash-safe resumption.
+//!
+//! One JSON object per line (`journal.jsonl`):
+//!
+//! * `{"submit":"<key>","job":{…}}` — the job was scheduled;
+//! * `{"done":"<key>"}` — its result landed in the store.
+//!
+//! The pending set is recovered by replaying the lines in order: a
+//! submit opens a job, a done closes it, and a re-submit after a done
+//! re-opens it (the key was rescheduled). Lines are
+//! written with a single `write` call each, so concurrent appends from
+//! worker threads (behind a mutex) and sequential figure binaries
+//! interleave at line granularity; a line truncated by a crash is
+//! skipped by the loader rather than aborting recovery.
+
+use crate::FarmJob;
+use parking_lot::Mutex;
+use serde::{json, Deserialize, Map, Serialize, Value};
+use std::collections::HashMap;
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Handle for appending to a journal file.
+pub struct Journal {
+    file: Mutex<std::fs::File>,
+}
+
+impl Journal {
+    /// Open `path` for appending, creating it if absent.
+    pub fn open(path: impl AsRef<Path>) -> io::Result<Journal> {
+        if let Some(parent) = path.as_ref().parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        Ok(Journal {
+            file: Mutex::new(file),
+        })
+    }
+
+    /// Record that `job` (under `key`) has been scheduled.
+    pub fn submit(&self, key: &str, job: &FarmJob) -> io::Result<()> {
+        let mut m = Map::new();
+        m.insert("submit".into(), Value::Str(key.to_owned()));
+        m.insert("job".into(), job.to_value());
+        self.append(&Value::Object(m))
+    }
+
+    /// Record that the job under `key` has completed and been stored.
+    pub fn done(&self, key: &str) -> io::Result<()> {
+        let mut m = Map::new();
+        m.insert("done".into(), Value::Str(key.to_owned()));
+        self.append(&Value::Object(m))
+    }
+
+    fn append(&self, v: &Value) -> io::Result<()> {
+        let mut line = json::to_string(v);
+        line.push('\n');
+        let mut file = self.file.lock();
+        file.write_all(line.as_bytes())?;
+        file.flush()
+    }
+
+    /// Read the journal at `path` and return the jobs submitted but not
+    /// done, in submission order.
+    ///
+    /// The journal is replayed sequentially: a `submit` opens a job, a
+    /// later `done` closes it, and a submit *after* a done re-opens it
+    /// (the key was rescheduled). A missing file means an empty pending
+    /// set; unparsable (e.g. crash-truncated) lines are skipped.
+    pub fn load_pending(path: impl AsRef<Path>) -> io::Result<Vec<(String, FarmJob)>> {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(e),
+        };
+        let mut order: Vec<String> = Vec::new();
+        let mut open: HashMap<String, FarmJob> = HashMap::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let Ok(v) = json::parse(line) else {
+                continue; // truncated tail from a crash mid-write
+            };
+            if let Some(key) = v.get("done").and_then(Value::as_str) {
+                open.remove(key);
+            } else if let Some(key) = v.get("submit").and_then(Value::as_str) {
+                if !open.contains_key(key) {
+                    if let Some(job_v) = v.get("job") {
+                        if let Ok(job) = FarmJob::from_value(job_v) {
+                            order.push(key.to_owned());
+                            open.insert(key.to_owned(), job);
+                        }
+                    }
+                }
+            }
+        }
+        // `order` can carry dead duplicates (submit → done → resubmit);
+        // taking each key's job at its first live occurrence dedups.
+        Ok(order
+            .into_iter()
+            .filter_map(|key| open.remove(&key).map(|job| (key, job)))
+            .collect())
+    }
+
+    /// Reset the journal at `path` to empty (used once recovery
+    /// information is no longer live).
+    pub fn truncate(path: impl AsRef<Path>) -> io::Result<()> {
+        if let Some(parent) = path.as_ref().parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, b"")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptb_core::SimConfig;
+    use ptb_workloads::{Benchmark, Scale};
+
+    fn job(bench: Benchmark) -> FarmJob {
+        FarmJob::new(
+            bench,
+            SimConfig {
+                n_cores: 2,
+                scale: Scale::Test,
+                ..SimConfig::default()
+            },
+        )
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let p = std::env::temp_dir().join(format!("ptb-journal-{}-{name}", std::process::id()));
+        std::fs::remove_file(&p).ok();
+        p
+    }
+
+    #[test]
+    fn pending_is_submits_minus_dones() {
+        let path = tmp("pending");
+        let j = Journal::open(&path).unwrap();
+        let (a, b) = (job(Benchmark::Fft), job(Benchmark::Radix));
+        j.submit(&a.key(), &a).unwrap();
+        j.submit(&b.key(), &b).unwrap();
+        j.done(&a.key()).unwrap();
+        let pending = Journal::load_pending(&path).unwrap();
+        assert_eq!(pending.len(), 1);
+        assert_eq!(pending[0].0, b.key());
+        assert_eq!(pending[0].1.bench, Benchmark::Radix);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_tail_is_skipped() {
+        let path = tmp("truncated");
+        let j = Journal::open(&path).unwrap();
+        let a = job(Benchmark::Fft);
+        j.submit(&a.key(), &a).unwrap();
+        // Emulate a crash mid-append: garbage partial line at the end.
+        {
+            use std::io::Write as _;
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&path)
+                .unwrap();
+            f.write_all(b"{\"submit\":\"deadbeef\",\"jo").unwrap();
+        }
+        let pending = Journal::load_pending(&path).unwrap();
+        assert_eq!(pending.len(), 1, "valid entry survives, garbage skipped");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_means_empty() {
+        let pending = Journal::load_pending(tmp("nonexistent-never-created")).unwrap();
+        assert!(pending.is_empty());
+    }
+}

@@ -1,0 +1,358 @@
+//! # ptb-farm — content-addressed result store + resumable experiment scheduler
+//!
+//! The paper's evaluation is a large, heavily overlapping sweep: 14
+//! benchmarks × 4+ mechanisms × 4 core counts, re-run by more than a
+//! dozen figure binaries that share most of their grid. This crate makes
+//! regenerating the artefact set incremental:
+//!
+//! * [`ResultStore`] — every [`ptb_core::RunReport`] is persisted on
+//!   disk keyed by a stable content hash of the canonicalised
+//!   [`ptb_core::SimConfig`], the full workload spec (which carries the
+//!   RNG seed), and the store/report format versions. Any figure binary
+//!   that needs a previously simulated point loads it in milliseconds
+//!   instead of re-simulating.
+//! * [`Journal`] — a persistent append-only job journal. Jobs are
+//!   recorded when scheduled and again when they complete, so after a
+//!   crash or Ctrl-C the unfinished remainder is known exactly and can
+//!   be resumed with [`Farm::resume`] (or `farm_ctl resume`).
+//! * [`Farm`] — the scheduler: dedups identical jobs submitted by
+//!   different figures, satisfies hits from the store, runs misses in
+//!   parallel on a work-stealing executor, and records completions as
+//!   they land.
+//! * [`FarmStats`] — per-job outcome counters (hits / misses / deduped /
+//!   corrupt / resumed …), exported as a [`ptb_obs::CounterRegistry`]
+//!   under the `farm.*` namespace.
+//!
+//! ## Integrity
+//!
+//! Store entries are never trusted blindly. Each entry embeds its own
+//! key, the format versions, and the full job (benchmark + config) it
+//! answers for; [`ResultStore::get`] re-checks all of them against the
+//! request and treats any mismatch — truncated JSON, a stale format
+//! version, or a config that no longer matches its hash — as a miss,
+//! deleting the entry so it is re-simulated rather than believed.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use ptb_core::{MechanismKind, SimConfig};
+//! use ptb_farm::{Farm, FarmJob};
+//! use ptb_workloads::{Benchmark, Scale};
+//!
+//! let dir = std::env::temp_dir().join("ptb-farm-doctest");
+//! let farm = Farm::open(&dir).expect("open farm");
+//! let cfg = SimConfig {
+//!     n_cores: 2,
+//!     scale: Scale::Test,
+//!     mechanism: MechanismKind::None,
+//!     ..SimConfig::default()
+//! };
+//! let jobs = vec![FarmJob::new(Benchmark::Fft, cfg)];
+//! let cold = farm.run_batch(&jobs, 1); // simulates
+//! let warm = farm.run_batch(&jobs, 1); // loads from the store
+//! assert_eq!(cold[0].cycles, warm[0].cycles);
+//! assert_eq!(farm.stats().hits, 1);
+//! # std::fs::remove_dir_all(&dir).ok();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod exec;
+pub mod hash;
+pub mod journal;
+pub mod stats;
+pub mod store;
+
+pub use journal::Journal;
+pub use stats::{FarmSnapshot, FarmStats};
+pub use store::{ResultStore, StoreLookup, STORE_FORMAT};
+
+use ptb_core::{RunReport, SimConfig, Simulation};
+use ptb_workloads::Benchmark;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One unit of farm work: a benchmark under a full simulation config.
+///
+/// The config alone pins everything the simulator reads (core count,
+/// scale, mechanism, power/thermal parameters, trace capture); the
+/// benchmark picks the workload generator, whose spec — including its
+/// RNG seed — is folded into the content hash by [`FarmJob::key`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FarmJob {
+    /// Benchmark to run.
+    pub bench: Benchmark,
+    /// Full simulation configuration.
+    pub config: SimConfig,
+}
+
+impl FarmJob {
+    /// A job from its parts.
+    pub fn new(bench: Benchmark, config: SimConfig) -> Self {
+        FarmJob { bench, config }
+    }
+
+    /// Content-address of this job: a 128-bit hex digest over the
+    /// canonical JSON of the config, the fully expanded workload spec
+    /// (benchmark programs, profiles and seed), and the store/report
+    /// format versions. Stable across processes and platforms.
+    pub fn key(&self) -> String {
+        let spec = self.bench.spec(self.config.n_cores, self.config.scale);
+        hash::job_key(&self.config, &spec)
+    }
+
+    /// Human-readable label for progress output and journal listings.
+    pub fn label(&self) -> String {
+        format!(
+            "{}/{}/{}c/{:?}",
+            self.bench,
+            self.config.mechanism.label(),
+            self.config.n_cores,
+            self.config.scale
+        )
+    }
+
+    /// Run the simulation for this job (a cache miss).
+    pub fn simulate(&self) -> RunReport {
+        Simulation::new(self.config.clone())
+            .run(self.bench)
+            .unwrap_or_else(|e| panic!("{} failed: {e}", self.label()))
+    }
+}
+
+/// The experiment farm: a [`ResultStore`] plus a [`Journal`] plus the
+/// scheduling logic that ties them together.
+pub struct Farm {
+    dir: PathBuf,
+    store: ResultStore,
+    journal: Journal,
+    stats: FarmStats,
+}
+
+impl Farm {
+    /// Open (or create) a farm rooted at `dir`.
+    ///
+    /// If the journal shows no unfinished work left over from a previous
+    /// process, it is compacted to zero length on open, so the journal
+    /// only ever grows while crash-recovery information is live.
+    pub fn open(dir: impl AsRef<Path>) -> io::Result<Farm> {
+        let dir = dir.as_ref().to_path_buf();
+        let store = ResultStore::open(dir.join("objects"))?;
+        let journal_path = dir.join("journal.jsonl");
+        if Journal::load_pending(&journal_path)?.is_empty() {
+            Journal::truncate(&journal_path)?;
+        }
+        let journal = Journal::open(&journal_path)?;
+        Ok(Farm {
+            dir,
+            store,
+            journal,
+            stats: FarmStats::default(),
+        })
+    }
+
+    /// Open the farm described by the environment, unless caching is
+    /// disabled:
+    ///
+    /// * `PTB_NO_CACHE` set (to anything but `0`) — disabled, returns
+    ///   `None`;
+    /// * `PTB_FARM_DIR` — store location (default `target/farm`).
+    ///
+    /// I/O errors opening the store degrade to uncached operation with a
+    /// warning instead of failing the run.
+    pub fn from_env() -> Option<Farm> {
+        if let Ok(v) = std::env::var("PTB_NO_CACHE") {
+            if v != "0" {
+                return None;
+            }
+        }
+        let dir = std::env::var("PTB_FARM_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|_| PathBuf::from("target/farm"));
+        match Farm::open(&dir) {
+            Ok(farm) => Some(farm),
+            Err(e) => {
+                eprintln!(
+                    "warning: cannot open farm store {}: {e}; running uncached",
+                    dir.display()
+                );
+                None
+            }
+        }
+    }
+
+    /// Root directory of this farm.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The underlying result store.
+    pub fn store(&self) -> &ResultStore {
+        &self.store
+    }
+
+    /// Snapshot of the outcome counters accumulated by this handle.
+    pub fn stats(&self) -> FarmSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Jobs recorded as scheduled but never completed — the unfinished
+    /// remainder a crashed or interrupted process left behind.
+    pub fn pending(&self) -> io::Result<Vec<(String, FarmJob)>> {
+        Journal::load_pending(self.dir.join("journal.jsonl"))
+    }
+
+    /// Record `jobs` in the journal as scheduled without running them.
+    ///
+    /// `run_batch` does this automatically for every miss; the method is
+    /// public so tests and tools can reconstruct an interrupted sweep.
+    pub fn record_pending(&self, jobs: &[FarmJob]) -> io::Result<()> {
+        for job in jobs {
+            self.journal.submit(&job.key(), job)?;
+        }
+        Ok(())
+    }
+
+    /// Run a batch of jobs and return their reports in batch order.
+    ///
+    /// Identical jobs (same content key) are deduplicated and simulated
+    /// at most once; keys present in the store are served from it after
+    /// an integrity check; the remaining misses are journalled and run
+    /// across `workers` work-stealing threads, with each completion
+    /// persisted to the store and journalled as done the moment it lands
+    /// — so an interrupt at any point loses at most the in-flight
+    /// simulations.
+    pub fn run_batch(&self, jobs: &[FarmJob], workers: usize) -> Vec<RunReport> {
+        let mut results: Vec<Option<RunReport>> = vec![None; jobs.len()];
+        // Batch-order indices of the first job carrying each key; later
+        // occurrences are duplicates satisfied by copying.
+        let mut first_of: HashMap<String, usize> = HashMap::new();
+        let mut dups: Vec<(usize, usize)> = Vec::new();
+        let mut misses: Vec<(usize, String)> = Vec::new();
+        for (idx, job) in jobs.iter().enumerate() {
+            let key = job.key();
+            if let Some(&first) = first_of.get(&key) {
+                self.stats.deduped.incr();
+                dups.push((idx, first));
+                continue;
+            }
+            first_of.insert(key.clone(), idx);
+            match self.lookup(&key, job) {
+                Some(report) => {
+                    self.stats.hits.incr();
+                    results[idx] = Some(report);
+                }
+                None => {
+                    self.stats.misses.incr();
+                    misses.push((idx, key));
+                }
+            }
+        }
+
+        // Journal every miss before the first simulation starts, so a
+        // crash mid-batch leaves a complete record of what was owed.
+        for (idx, key) in &misses {
+            if let Err(e) = self.journal.submit(key, &jobs[*idx]) {
+                eprintln!("warning: journal write failed: {e}");
+            }
+        }
+
+        let done = exec::run_work_stealing(misses, workers, |(idx, key)| {
+            let report = jobs[idx].simulate();
+            self.complete(&key, &jobs[idx], &report);
+            (idx, report)
+        });
+        for (idx, report) in done {
+            results[idx] = Some(report);
+        }
+        for (idx, first) in dups {
+            results[idx] = results[first].clone();
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every job resolved"))
+            .collect()
+    }
+
+    /// Run exactly the unfinished remainder recorded in the journal.
+    ///
+    /// Pending entries whose result is already in the store (completed
+    /// by another process, or stored just before a crash cut off the
+    /// `done` record) are acknowledged without re-running. Returns the
+    /// `(key, report)` pairs that were actually simulated.
+    pub fn resume(&self, workers: usize) -> io::Result<Vec<(String, RunReport)>> {
+        let pending = self.pending()?;
+        let mut to_run = Vec::new();
+        for (key, job) in pending {
+            if self.lookup(&key, &job).is_some() {
+                self.stats.hits.incr();
+                self.journal.done(&key)?;
+            } else {
+                self.stats.resumed.incr();
+                self.stats.misses.incr();
+                to_run.push((key, job));
+            }
+        }
+        Ok(exec::run_work_stealing(to_run, workers, |(key, job)| {
+            let report = job.simulate();
+            self.complete(&key, &job, &report);
+            (key, report)
+        }))
+    }
+
+    /// Integrity-scan every store entry; returns `(ok, dropped)` counts.
+    /// Corrupt, stale-format, or mis-keyed entries are deleted so the
+    /// next request re-simulates them.
+    pub fn verify(&self) -> io::Result<(usize, usize)> {
+        let mut ok = 0;
+        let mut dropped = 0;
+        for key in self.store.keys()? {
+            match self.store.verify_entry(&key) {
+                Ok(()) => ok += 1,
+                Err(reason) => {
+                    eprintln!("[farm] dropping {key}: {reason}");
+                    self.store.remove(&key);
+                    self.stats.corrupt.incr();
+                    dropped += 1;
+                }
+            }
+        }
+        Ok((ok, dropped))
+    }
+
+    /// Store lookup with integrity handling: corrupt or stale entries
+    /// are counted, removed, and reported as a miss.
+    fn lookup(&self, key: &str, job: &FarmJob) -> Option<RunReport> {
+        match self.store.get(key, job) {
+            StoreLookup::Hit(report) => Some(*report),
+            StoreLookup::Miss => None,
+            StoreLookup::Corrupt(reason) => {
+                eprintln!("[farm] discarding entry {key}: {reason}");
+                self.store.remove(key);
+                self.stats.corrupt.incr();
+                None
+            }
+        }
+    }
+
+    /// Persist a finished job and mark it done in the journal.
+    fn complete(&self, key: &str, job: &FarmJob, report: &RunReport) {
+        match self.store.put(key, job, report) {
+            Ok(()) => {}
+            Err(e) => {
+                // An unstorable report (e.g. non-finite metric that does
+                // not survive the JSON round-trip) still produces a
+                // correct in-memory result; it just will not be cached.
+                eprintln!("warning: cannot store {key}: {e}");
+                self.stats.unstorable.incr();
+            }
+        }
+        self.stats.completed.incr();
+        if let Err(e) = self.journal.done(key) {
+            eprintln!("warning: journal write failed: {e}");
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Farm outcome counters, exportable through `ptb-obs`.
+
+use ptb_obs::CounterRegistry;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonic counter shared across farm worker threads.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Add one.
+    pub fn incr(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Per-job outcome counters of a [`crate::Farm`] handle.
+///
+/// Every job submitted to the farm lands in exactly one of `hits`,
+/// `misses`, or `deduped`; misses additionally count in `completed`
+/// once finished (and in `resumed` when they came from the journal's
+/// pending set rather than a live batch).
+#[derive(Debug, Default)]
+pub struct FarmStats {
+    /// Served from the store after integrity validation.
+    pub hits: Counter,
+    /// Not in the store (or evicted as corrupt); simulated.
+    pub misses: Counter,
+    /// Duplicate of an earlier job in the same batch; result shared.
+    pub deduped: Counter,
+    /// Simulations finished and recorded.
+    pub completed: Counter,
+    /// Misses that came from the journal's unfinished remainder.
+    pub resumed: Counter,
+    /// Store entries discarded as corrupt, stale, or mismatched.
+    pub corrupt: Counter,
+    /// Reports that could not be persisted (kept in memory only).
+    pub unstorable: Counter,
+}
+
+impl FarmStats {
+    /// Copy the current values.
+    pub fn snapshot(&self) -> FarmSnapshot {
+        FarmSnapshot {
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            deduped: self.deduped.get(),
+            completed: self.completed.get(),
+            resumed: self.resumed.get(),
+            corrupt: self.corrupt.get(),
+            unstorable: self.unstorable.get(),
+        }
+    }
+}
+
+/// A point-in-time copy of [`FarmStats`], with reporting helpers.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FarmSnapshot {
+    /// See [`FarmStats::hits`].
+    pub hits: u64,
+    /// See [`FarmStats::misses`].
+    pub misses: u64,
+    /// See [`FarmStats::deduped`].
+    pub deduped: u64,
+    /// See [`FarmStats::completed`].
+    pub completed: u64,
+    /// See [`FarmStats::resumed`].
+    pub resumed: u64,
+    /// See [`FarmStats::corrupt`].
+    pub corrupt: u64,
+    /// See [`FarmStats::unstorable`].
+    pub unstorable: u64,
+}
+
+impl FarmSnapshot {
+    /// Counter-wise difference against an earlier snapshot (for
+    /// per-batch reporting on a long-lived handle).
+    pub fn since(&self, earlier: &FarmSnapshot) -> FarmSnapshot {
+        FarmSnapshot {
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+            deduped: self.deduped - earlier.deduped,
+            completed: self.completed - earlier.completed,
+            resumed: self.resumed - earlier.resumed,
+            corrupt: self.corrupt - earlier.corrupt,
+            unstorable: self.unstorable - earlier.unstorable,
+        }
+    }
+
+    /// Cache hit rate over the unique jobs seen, in percent (100.0 when
+    /// nothing missed; 0.0 when nothing was looked up).
+    pub fn hit_rate_pct(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            100.0 * self.hits as f64 / total as f64
+        }
+    }
+
+    /// Export as a `ptb-obs` counter registry under the `farm.*`
+    /// namespace (mergeable into `RunReport::extra_metrics` or a
+    /// metrics CSV alongside the simulator's own counters).
+    pub fn counters(&self) -> CounterRegistry {
+        let mut c = CounterRegistry::new();
+        c.add("farm.hits", self.hits as f64);
+        c.add("farm.misses", self.misses as f64);
+        c.add("farm.deduped", self.deduped as f64);
+        c.add("farm.completed", self.completed as f64);
+        c.add("farm.resumed", self.resumed as f64);
+        c.add("farm.corrupt", self.corrupt as f64);
+        c.add("farm.unstorable", self.unstorable as f64);
+        c.set("farm.hit_rate_pct", self.hit_rate_pct());
+        c
+    }
+
+    /// One-line human summary, e.g.
+    /// `126 jobs: 120 hits, 4 misses, 2 deduped (hit-rate 97%)`.
+    pub fn summary(&self) -> String {
+        let jobs = self.hits + self.misses + self.deduped;
+        let mut s = format!(
+            "{jobs} jobs: {} hits, {} misses, {} deduped (hit-rate {:.0}%)",
+            self.hits,
+            self.misses,
+            self.deduped,
+            self.hit_rate_pct()
+        );
+        if self.resumed > 0 {
+            s.push_str(&format!(", {} resumed", self.resumed));
+        }
+        if self.corrupt > 0 {
+            s.push_str(&format!(", {} corrupt dropped", self.corrupt));
+        }
+        if self.unstorable > 0 {
+            s.push_str(&format!(", {} unstorable", self.unstorable));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_delta_and_summary() {
+        let stats = FarmStats::default();
+        stats.hits.incr();
+        stats.hits.incr();
+        stats.misses.incr();
+        let a = stats.snapshot();
+        stats.hits.incr();
+        let d = stats.snapshot().since(&a);
+        assert_eq!(d.hits, 1);
+        assert_eq!(d.misses, 0);
+        let s = a.summary();
+        assert!(s.contains("2 hits"), "{s}");
+        assert!(s.contains("1 misses"), "{s}");
+        assert!((a.hit_rate_pct() - 200.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn counters_land_in_farm_namespace() {
+        let stats = FarmStats::default();
+        stats.hits.incr();
+        let c = stats.snapshot().counters();
+        assert_eq!(c.get("farm.hits"), Some(1.0));
+        assert_eq!(c.get("farm.misses"), Some(0.0));
+        assert_eq!(c.get("farm.hit_rate_pct"), Some(100.0));
+    }
+
+    #[test]
+    fn empty_snapshot_rates() {
+        assert_eq!(FarmSnapshot::default().hit_rate_pct(), 0.0);
+    }
+}

@@ -1,0 +1,227 @@
+//! Content-addressed on-disk result store.
+//!
+//! Layout: one JSON file per result at `objects/<k₀k₁>/<key>.json`
+//! (two-hex-char fan-out, git-style). Each file is a self-describing
+//! envelope:
+//!
+//! ```json
+//! {
+//!   "store_format": 1,
+//!   "report_format": 1,
+//!   "key": "6f0c…",
+//!   "job": { "bench": "fft", "config": { … } },
+//!   "report": { … }
+//! }
+//! ```
+//!
+//! Writes are atomic (temp file + rename) and verified to round-trip
+//! before they are published, so readers never observe a torn or
+//! unparsable entry that was written by a healthy process. Reads
+//! re-validate everything: the format versions, the embedded key
+//! against the filename, and the embedded config against the request.
+
+use crate::FarmJob;
+use ptb_core::RunReport;
+use serde::{json, Deserialize, Map, Serialize, Value};
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// On-disk format version of store envelopes. Bump on any layout or
+/// semantics change; old entries then fail validation and re-run.
+pub const STORE_FORMAT: u32 = 1;
+
+/// Outcome of a store lookup.
+#[derive(Debug)]
+pub enum StoreLookup {
+    /// Entry present, valid, and matching the request.
+    Hit(Box<RunReport>),
+    /// No entry for this key.
+    Miss,
+    /// An entry exists but cannot be trusted (reason attached); the
+    /// caller should remove it and re-simulate.
+    Corrupt(String),
+}
+
+/// Content-addressed store of [`RunReport`]s under a root directory.
+pub struct ResultStore {
+    dir: PathBuf,
+    tmp_seq: AtomicU64,
+}
+
+impl ResultStore {
+    /// Open (or create) a store rooted at `dir`.
+    pub fn open(dir: impl AsRef<Path>) -> io::Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        Ok(ResultStore {
+            dir,
+            tmp_seq: AtomicU64::new(0),
+        })
+    }
+
+    /// Root directory of the store.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Path of the entry for `key`.
+    pub fn path_for(&self, key: &str) -> PathBuf {
+        let prefix = key.get(0..2).unwrap_or("xx");
+        self.dir.join(prefix).join(format!("{key}.json"))
+    }
+
+    /// Persist `report` as the result of `job` under `key`.
+    ///
+    /// The serialised envelope is parsed back before publication; a
+    /// report that does not survive the JSON round-trip byte-for-byte
+    /// identically (e.g. it contains a non-finite float) is rejected
+    /// here rather than poisoning the store.
+    pub fn put(&self, key: &str, job: &FarmJob, report: &RunReport) -> io::Result<()> {
+        let mut env = Map::new();
+        env.insert("store_format".into(), Value::U64(u64::from(STORE_FORMAT)));
+        env.insert(
+            "report_format".into(),
+            Value::U64(u64::from(ptb_core::report::REPORT_FORMAT)),
+        );
+        env.insert("key".into(), Value::Str(key.to_owned()));
+        env.insert("job".into(), job.to_value());
+        env.insert("report".into(), report.to_value());
+        let text = json::to_string_pretty(&Value::Object(env));
+
+        let reparsed = json::parse(&text)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        let report_v = reparsed
+            .get("report")
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "lost report"))?;
+        let back = RunReport::from_value(report_v)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        if back.to_value() != report.to_value() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "report does not round-trip losslessly through JSON",
+            ));
+        }
+
+        let path = self.path_for(key);
+        let parent = path.parent().expect("entry path has a parent");
+        std::fs::create_dir_all(parent)?;
+        let tmp = parent.join(format!(
+            ".{key}.{}.{}.tmp",
+            std::process::id(),
+            self.tmp_seq.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::write(&tmp, &text)?;
+        let renamed = std::fs::rename(&tmp, &path);
+        if renamed.is_err() {
+            std::fs::remove_file(&tmp).ok();
+        }
+        renamed
+    }
+
+    /// Look up `key`, validating the entry against the requesting `job`.
+    pub fn get(&self, key: &str, job: &FarmJob) -> StoreLookup {
+        let text = match std::fs::read_to_string(self.path_for(key)) {
+            Ok(t) => t,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return StoreLookup::Miss,
+            Err(e) => return StoreLookup::Corrupt(format!("unreadable: {e}")),
+        };
+        let (env_job, report_v) = match Self::validate_envelope(&text, key) {
+            Ok(parts) => parts,
+            Err(reason) => return StoreLookup::Corrupt(reason),
+        };
+        // The content hash already covers the config, but a 128-bit FNV
+        // digest is not collision-proof: compare the stored config tree
+        // against the request so a collision (or a manually edited
+        // entry) re-runs instead of answering for the wrong point.
+        if env_job.config.to_value() != job.config.to_value() {
+            return StoreLookup::Corrupt("stored config does not match request".into());
+        }
+        if env_job.bench != job.bench {
+            return StoreLookup::Corrupt("stored benchmark does not match request".into());
+        }
+        match RunReport::from_value(&report_v) {
+            Ok(report) => StoreLookup::Hit(Box::new(report)),
+            Err(e) => StoreLookup::Corrupt(format!("report: {e}")),
+        }
+    }
+
+    /// Remove the entry for `key`, if present.
+    pub fn remove(&self, key: &str) {
+        std::fs::remove_file(self.path_for(key)).ok();
+    }
+
+    /// All keys currently present (including entries that would fail
+    /// validation — use [`ResultStore::verify_entry`] to check them).
+    pub fn keys(&self) -> io::Result<Vec<String>> {
+        let mut keys = Vec::new();
+        for shard in std::fs::read_dir(&self.dir)? {
+            let shard = shard?.path();
+            if !shard.is_dir() {
+                continue;
+            }
+            for entry in std::fs::read_dir(&shard)? {
+                let name = entry?.file_name();
+                let name = name.to_string_lossy();
+                if let Some(key) = name.strip_suffix(".json") {
+                    if !key.starts_with('.') {
+                        keys.push(key.to_owned());
+                    }
+                }
+            }
+        }
+        keys.sort();
+        Ok(keys)
+    }
+
+    /// Number of entries present.
+    pub fn len(&self) -> usize {
+        self.keys().map(|k| k.len()).unwrap_or(0)
+    }
+
+    /// True when the store holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Self-validate the entry stored under `key` without an external
+    /// request to compare against: checks formats, that the embedded key
+    /// matches the filename, that the embedded job re-hashes to that
+    /// key, and that the report deserialises.
+    pub fn verify_entry(&self, key: &str) -> Result<(), String> {
+        let text =
+            std::fs::read_to_string(self.path_for(key)).map_err(|e| format!("unreadable: {e}"))?;
+        let (job, report_v) = Self::validate_envelope(&text, key)?;
+        if job.key() != key {
+            return Err("embedded job does not hash to this key".into());
+        }
+        RunReport::from_value(&report_v).map_err(|e| format!("report: {e}"))?;
+        Ok(())
+    }
+
+    /// Shared envelope checks: parse, format versions, embedded key.
+    /// Returns the embedded job and the raw report value.
+    fn validate_envelope(text: &str, key: &str) -> Result<(FarmJob, Value), String> {
+        let v = json::parse(text).map_err(|e| format!("parse: {e}"))?;
+        let fmt = v.get("store_format").and_then(Value::as_u64);
+        if fmt != Some(u64::from(STORE_FORMAT)) {
+            return Err(format!(
+                "store format {fmt:?} != current {STORE_FORMAT} (stale)"
+            ));
+        }
+        let rfmt = v.get("report_format").and_then(Value::as_u64);
+        if rfmt != Some(u64::from(ptb_core::report::REPORT_FORMAT)) {
+            return Err(format!(
+                "report format {rfmt:?} != current {} (stale)",
+                ptb_core::report::REPORT_FORMAT
+            ));
+        }
+        if v.get("key").and_then(Value::as_str) != Some(key) {
+            return Err("embedded key does not match filename".into());
+        }
+        let job_v = v.get("job").ok_or("missing job")?;
+        let job = FarmJob::from_value(job_v).map_err(|e| format!("job: {e}"))?;
+        let report_v = v.get("report").ok_or("missing report")?.clone();
+        Ok((job, report_v))
+    }
+}

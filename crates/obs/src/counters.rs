@@ -48,6 +48,16 @@ impl CounterRegistry {
         &self.values
     }
 
+    /// Fold another registry into this one: counters accumulate
+    /// (`add`), so merging per-run registries — or the farm's `farm.*`
+    /// outcome counters — yields totals. Series that only exist in
+    /// `other` are created.
+    pub fn merge(&mut self, other: &CounterRegistry) {
+        for (name, value) in other.as_map() {
+            self.add(name, *value);
+        }
+    }
+
     /// Number of series.
     pub fn len(&self) -> usize {
         self.values.len()
@@ -153,6 +163,18 @@ mod tests {
         assert_eq!(c.get("sync.spin_episodes_lock"), Some(1.0));
         assert_eq!(c.get("mem.backpressure_retries"), Some(1.0));
         assert_eq!(c.get("mem.l1_misses"), Some(3.0));
+    }
+
+    #[test]
+    fn merge_accumulates_and_creates() {
+        let mut a = CounterRegistry::new();
+        a.add("x", 2.0);
+        let mut b = CounterRegistry::new();
+        b.add("x", 3.0);
+        b.add("farm.hits", 7.0);
+        a.merge(&b);
+        assert_eq!(a.get("x"), Some(5.0));
+        assert_eq!(a.get("farm.hits"), Some(7.0));
     }
 
     #[test]

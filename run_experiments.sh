@@ -1,5 +1,10 @@
 #!/bin/sh
 # Regenerates every paper artefact. PTB_SCALE=small is the recorded scale.
+#
+# Runs are incremental: every simulated point is cached in the ptb-farm
+# result store (default target/farm; override with PTB_FARM_DIR, disable
+# with PTB_NO_CACHE=1), so a rerun only simulates points whose config
+# changed, and a killed run resumes where it left off (`farm_ctl resume`).
 set -x
 cd /root/repo
 export PTB_SCALE=small PTB_OUT=target/figures PTB_JOBS=1
