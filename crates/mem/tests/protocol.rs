@@ -210,6 +210,61 @@ fn read_after_remote_write_gets_fresh_copy() {
 }
 
 #[test]
+fn ttas_spin_is_local_until_release_invalidates() {
+    // The test-and-test-and-set pattern the sync fabric models: a waiter
+    // spins on plain loads of a line the holder owns. While the lock is
+    // held, every spin iteration must be a pure L1 hit with zero new
+    // coherence messages — this is the property that makes spinning
+    // power-cheap enough for PTB's spin-gating to matter. The release
+    // store then invalidates the waiter, whose next read refills
+    // cache-to-cache from the releasing core.
+    let mut ms = sys(2);
+    // Core 0 acquires: RMW takes the lock line in M.
+    ms.request(req(1, 0, AccessKind::Rmw, 0x8000_0000));
+    run_for_responses(&mut ms, 1, 2000);
+    // Core 1's first test pulls a shared copy (downgrading the holder).
+    ms.request(req(2, 1, AccessKind::Load, 0x8000_0000));
+    run_for_responses(&mut ms, 1, 2000);
+
+    let coh_before = ms.stats().coh_messages;
+    let hits_before = ms.stats().per_core[1].l1_hits;
+    for i in 0..20u64 {
+        ms.request(req(10 + i, 1, AccessKind::Load, 0x8000_0000));
+        let got = run_for_responses(&mut ms, 1, 50);
+        assert_eq!(got.len(), 1, "spin load {i} did not complete");
+    }
+    assert_eq!(
+        ms.stats().coh_messages,
+        coh_before,
+        "spin loads generated coherence traffic"
+    );
+    assert_eq!(ms.stats().per_core[1].l1_hits, hits_before + 20);
+
+    // Release: the holder's store must invalidate the spinning reader.
+    let inv_before = ms.stats().per_core[1].invalidations_received;
+    ms.request(req(100, 0, AccessKind::Store, 0x8000_0000));
+    run_for_responses(&mut ms, 1, 2000);
+    assert_eq!(
+        ms.stats().per_core[1].invalidations_received,
+        inv_before + 1,
+        "release store did not invalidate the spinner"
+    );
+
+    // The waiter observes the release via a C2C fill, not memory.
+    let c2c_before = ms.stats().per_core[1].c2c_fills;
+    let reads_before = ms.stats().mem_reads;
+    ms.request(req(101, 1, AccessKind::Load, 0x8000_0000));
+    let got = run_for_responses(&mut ms, 1, 2000);
+    assert_eq!(got.len(), 1);
+    assert_eq!(ms.stats().per_core[1].c2c_fills, c2c_before + 1);
+    assert_eq!(
+        ms.stats().mem_reads,
+        reads_before,
+        "release visible without memory"
+    );
+}
+
+#[test]
 fn same_core_requests_merge_in_mshr() {
     let mut ms = sys(2);
     // Two loads to the same cold line back-to-back: one memory read.

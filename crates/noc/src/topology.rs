@@ -244,6 +244,37 @@ mod prop_tests {
             prop_assert_eq!(m.route(src, dst).len(), m.hops(src, dst));
         }
 
+        /// Dimension order: the route is a (possibly empty) run of
+        /// east-or-west steps followed by a (possibly empty) run of
+        /// north-or-south steps — never interleaved, and never mixing
+        /// the two senses within a phase (no doubling back). This is
+        /// the property that makes XY routing deadlock-free.
+        #[test]
+        fn route_is_x_phase_then_y_phase(
+            n in 1usize..=32,
+            a in 0usize..32,
+            b in 0usize..32,
+        ) {
+            let m = MeshConfig::for_cores(n);
+            let src = NodeId(a % m.nodes());
+            let dst = NodeId(b % m.nodes());
+            let path = m.route(src, dst);
+            let is_x = |d: Direction| matches!(d, Direction::East | Direction::West);
+            let x_steps: Vec<Direction> =
+                path.iter().map(|&(_, d)| d).take_while(|&d| is_x(d)).collect();
+            let y_steps: Vec<Direction> =
+                path.iter().map(|&(_, d)| d).skip(x_steps.len()).collect();
+            prop_assert!(
+                y_steps.iter().all(|&d| !is_x(d)),
+                "x-step after the y-phase began: {path:?}"
+            );
+            prop_assert!(x_steps.windows(2).all(|w| w[0] == w[1]), "x-phase doubles back");
+            prop_assert!(y_steps.windows(2).all(|w| w[0] == w[1]), "y-phase doubles back");
+            let (sc, dc) = (m.coord(src), m.coord(dst));
+            prop_assert_eq!(x_steps.len(), sc.x.abs_diff(dc.x));
+            prop_assert_eq!(y_steps.len(), sc.y.abs_diff(dc.y));
+        }
+
         #[test]
         fn route_walks_adjacent_nodes(n in 2usize..=25, a in 0usize..25, b in 0usize..25) {
             let m = MeshConfig::for_cores(n);

@@ -1,0 +1,380 @@
+//! Seeded generation of simulation cases.
+//!
+//! A [`CaseSpec`] is a compact, serialisable description of one
+//! simulation: the knobs the fuzzer explores (core count, budget,
+//! mechanism, PTB hardware geometry, workload). It materialises into a
+//! [`SimConfig`] + [`WorkloadSpec`] pair on demand, so a failing case can
+//! be stored, replayed and shrunk as plain JSON.
+//!
+//! Generation builds on the vendored `proptest`: [`CaseStrategy`]
+//! implements [`proptest::Strategy`], so cases can be drawn inside
+//! `proptest!` tests or directly from a seeded
+//! [`proptest::test_runner::TestRng`] (which is what the `sim_check`
+//! binary does). The vendored proptest has no shrinking; `ptb-validate`
+//! supplies its own greedy shrinker in [`crate::shrink`].
+
+use proptest::{Strategy, TestRng};
+use ptb_core::{MechanismKind, PtbConfig, PtbPolicy, SimConfig};
+use ptb_isa::{BarrierId, BlockGenConfig, InstMix, LockId, MemPattern};
+use ptb_workloads::stmt::{flatten, Stmt};
+use ptb_workloads::{Benchmark, LockKind, Scale, WorkloadSpec};
+use serde::{Deserialize, Serialize};
+
+/// Safety cap on simulated cycles for generated cases. Test-scale
+/// workloads finish in well under a million cycles even when throttled
+/// to a 30 % budget; hitting this cap is reported as a liveness
+/// violation, not tolerated.
+pub const CASE_MAX_CYCLES: u64 = 20_000_000;
+
+/// Shape of a degenerate synthetic workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SynthShape {
+    /// One thread, one pure integer-ALU loop: the closed-form reference
+    /// model of [`crate::reference`] predicts its cycles and energy.
+    /// Only valid with `n_cores == 1`.
+    SingleAlu,
+    /// Embarrassingly parallel: every thread computes independently on
+    /// its own data and synchronises once at the final barrier.
+    Parallel,
+    /// All threads hammer one lock around a tiny critical section.
+    LockContended,
+    /// Barrier phases with linearly imbalanced per-thread work (thread
+    /// `t` does `1 + t` units), the paper's barrier-spin signature.
+    BarrierImbalanced,
+}
+
+/// Which workload a case runs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum WorkloadDesc {
+    /// One of the fourteen benchmark models at test scale.
+    Bench(Benchmark),
+    /// A degenerate synthetic program (see [`SynthShape`]); `work` is
+    /// the per-thread compute-block instruction count.
+    Synth {
+        /// Program shape.
+        shape: SynthShape,
+        /// Base dynamic instructions per compute block.
+        work: u64,
+    },
+}
+
+/// A complete, serialisable description of one fuzzed simulation case.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CaseSpec {
+    /// Core count (= thread count).
+    pub n_cores: usize,
+    /// Global power budget as a fraction of peak chip power.
+    pub budget_frac: f64,
+    /// Mechanism under test.
+    pub mechanism: MechanismKind,
+    /// PTB token-wire width in bits.
+    pub wire_bits: u32,
+    /// Balancer round-trip latency override (`None` = paper values).
+    pub latency_override: Option<u64>,
+    /// Balancer clustering (`None` = one chip-wide balancer).
+    pub cluster_size: Option<usize>,
+    /// Workload to run.
+    pub workload: WorkloadDesc,
+    /// Workload RNG seed.
+    pub seed: u64,
+}
+
+impl CaseSpec {
+    /// The simulator configuration this case materialises to.
+    pub fn config(&self) -> SimConfig {
+        SimConfig {
+            n_cores: self.n_cores,
+            budget_frac: self.budget_frac,
+            mechanism: self.mechanism,
+            ptb: PtbConfig {
+                latency_override: self.latency_override,
+                wire_bits: self.wire_bits,
+                cluster_size: self.cluster_size,
+                ..PtbConfig::default()
+            },
+            scale: Scale::Test,
+            max_cycles: CASE_MAX_CYCLES,
+            ..SimConfig::default()
+        }
+    }
+
+    /// The workload this case runs (one thread per core).
+    pub fn workload_spec(&self) -> WorkloadSpec {
+        match self.workload {
+            WorkloadDesc::Bench(b) => {
+                let mut spec = b.spec(self.n_cores, Scale::Test);
+                spec.seed ^= self.seed;
+                spec
+            }
+            WorkloadDesc::Synth { shape, work } => synth_spec(shape, work, self.n_cores, self.seed),
+        }
+    }
+
+    /// Serialise to single-line JSON (the canonical replay artefact for
+    /// `sim_check --replay`).
+    pub fn to_json(&self) -> String {
+        serde::json::to_string(self)
+    }
+
+    /// Parse a case back from [`CaseSpec::to_json`] output.
+    pub fn from_json(s: &str) -> Result<Self, String> {
+        let v = serde::json::parse(s).map_err(|e| format!("bad case JSON: {e}"))?;
+        <CaseSpec as serde::Deserialize>::from_value(&v).map_err(|e| format!("bad case shape: {e}"))
+    }
+}
+
+/// Pure independent integer-ALU profile: no memory traffic, no flaky
+/// branches, no register dependences. With the default 4-wide core this
+/// sustains one full issue group per cycle, which is what makes the
+/// closed-form model in [`crate::reference`] tractable.
+pub fn alu_profile() -> BlockGenConfig {
+    BlockGenConfig {
+        mix: InstMix {
+            int_alu: 1.0,
+            int_mul: 0.0,
+            fp_alu: 0.0,
+            fp_mul: 0.0,
+            load: 0.0,
+            store: 0.0,
+            branch: 0.0,
+        },
+        mem: MemPattern::cache_resident(),
+        static_len: 64,
+        flaky_branch_frac: 0.0,
+        dep_density: 0.0,
+    }
+}
+
+fn synth_spec(shape: SynthShape, work: u64, n_cores: usize, seed: u64) -> WorkloadSpec {
+    let work = work.max(1);
+    let balanced = BlockGenConfig::default();
+    let (name, profiles, programs): (&str, Vec<BlockGenConfig>, Vec<Vec<Stmt>>) = match shape {
+        SynthShape::SingleAlu => (
+            "synth-single-alu",
+            vec![alu_profile()],
+            vec![vec![Stmt::Compute {
+                profile: 0,
+                count: work,
+            }]],
+        ),
+        SynthShape::Parallel => (
+            "synth-parallel",
+            vec![balanced],
+            (0..n_cores)
+                .map(|_| {
+                    vec![
+                        Stmt::Compute {
+                            profile: 0,
+                            count: work,
+                        },
+                        Stmt::Barrier(BarrierId(0)),
+                    ]
+                })
+                .collect(),
+        ),
+        SynthShape::LockContended => (
+            "synth-lock",
+            vec![balanced],
+            (0..n_cores)
+                .map(|_| {
+                    vec![
+                        Stmt::Repeat {
+                            times: 8,
+                            body: vec![
+                                Stmt::Compute {
+                                    profile: 0,
+                                    count: work / 8 + 1,
+                                },
+                                Stmt::Lock(LockId(0)),
+                                Stmt::Compute {
+                                    profile: 0,
+                                    count: 16,
+                                },
+                                Stmt::Unlock(LockId(0)),
+                            ],
+                        },
+                        Stmt::Barrier(BarrierId(0)),
+                    ]
+                })
+                .collect(),
+        ),
+        SynthShape::BarrierImbalanced => (
+            "synth-imbalance",
+            vec![balanced],
+            (0..n_cores)
+                .map(|t| {
+                    vec![Stmt::Repeat {
+                        times: 4,
+                        body: vec![
+                            Stmt::Compute {
+                                profile: 0,
+                                count: work * (1 + t as u64),
+                            },
+                            Stmt::Barrier(BarrierId(0)),
+                        ],
+                    }]
+                })
+                .collect(),
+        ),
+    };
+    WorkloadSpec {
+        name: name.into(),
+        programs: programs.iter().map(|p| flatten(p)).collect(),
+        profiles,
+        seed,
+        lock_kind: LockKind::TestAndSet,
+    }
+}
+
+const CORE_COUNTS: [usize; 7] = [1, 2, 3, 4, 6, 8, 16];
+const POLICIES: [PtbPolicy; 3] = [PtbPolicy::ToAll, PtbPolicy::ToOne, PtbPolicy::Dynamic];
+
+fn pick<T: Copy>(rng: &mut TestRng, xs: &[T]) -> T {
+    xs[(rng.next_u64() % xs.len() as u64) as usize]
+}
+
+fn chance(rng: &mut TestRng, num: u64, den: u64) -> bool {
+    rng.next_u64() % den < num
+}
+
+/// Draw one case from a seeded generator. Covers every mechanism kind,
+/// a spread of core counts (including non-power-of-two mesh shapes),
+/// budgets from deep throttle to near-peak, non-default PTB wire/latency
+/// geometry, all four synthetic shapes and all fourteen benchmarks.
+pub fn arbitrary_case(rng: &mut TestRng) -> CaseSpec {
+    let mechanism = match rng.next_u64() % 8 {
+        0 => MechanismKind::None,
+        1 => MechanismKind::Dvfs,
+        2 => MechanismKind::Dfs,
+        3 => MechanismKind::TwoLevel,
+        4 | 5 => MechanismKind::PtbTwoLevel {
+            policy: pick(rng, &POLICIES),
+            relax: if chance(rng, 1, 4) { 0.2 } else { 0.0 },
+        },
+        _ => MechanismKind::PtbSpinGate {
+            policy: pick(rng, &POLICIES),
+            relax: if chance(rng, 1, 4) { 0.2 } else { 0.0 },
+        },
+    };
+    // Mostly degenerate synthetics (they stress the accounting paths
+    // hardest per simulated cycle); benchmarks keep the realistic
+    // lock/barrier choreography in the pool.
+    let workload = if chance(rng, 1, 3) {
+        WorkloadDesc::Bench(pick(rng, &Benchmark::ALL))
+    } else {
+        let shape = pick(
+            rng,
+            &[
+                SynthShape::Parallel,
+                SynthShape::LockContended,
+                SynthShape::BarrierImbalanced,
+                SynthShape::SingleAlu,
+            ],
+        );
+        WorkloadDesc::Synth {
+            shape,
+            work: 200 + rng.next_u64() % 1800,
+        }
+    };
+    let n_cores = match workload {
+        WorkloadDesc::Synth {
+            shape: SynthShape::SingleAlu,
+            ..
+        } => 1,
+        _ => pick(rng, &CORE_COUNTS),
+    };
+    CaseSpec {
+        n_cores,
+        budget_frac: 0.3 + (rng.next_u64() % 61) as f64 / 100.0,
+        mechanism,
+        wire_bits: pick(rng, &[2u32, 4, 4, 4, 8]),
+        latency_override: if chance(rng, 1, 4) {
+            Some(1 + rng.next_u64() % 20)
+        } else {
+            None
+        },
+        cluster_size: if chance(rng, 1, 5) {
+            Some(pick(rng, &[2usize, 4, 8]))
+        } else {
+            None
+        },
+        workload,
+        seed: rng.next_u64(),
+    }
+}
+
+/// [`proptest::Strategy`] yielding [`CaseSpec`]s, for use in
+/// `proptest!`-based tests: `case in CaseStrategy`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CaseStrategy;
+
+impl Strategy for CaseStrategy {
+    type Value = CaseSpec;
+    fn generate(&self, rng: &mut TestRng) -> CaseSpec {
+        arbitrary_case(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cases_materialise_to_valid_workloads() {
+        let mut rng = TestRng::new(7);
+        for _ in 0..200 {
+            let case = arbitrary_case(&mut rng);
+            let spec = case.workload_spec();
+            assert_eq!(spec.n_threads(), case.n_cores, "one thread per core");
+            assert!(
+                spec.validate().is_empty(),
+                "generated workload invalid: {:?}",
+                spec.validate()
+            );
+            assert!(spec.total_compute() > 0);
+            assert!((0.0..=1.0).contains(&case.budget_frac));
+        }
+    }
+
+    #[test]
+    fn case_json_round_trips() {
+        let mut rng = TestRng::new(11);
+        for _ in 0..50 {
+            let case = arbitrary_case(&mut rng);
+            let back = CaseSpec::from_json(&case.to_json()).expect("parse");
+            assert_eq!(back, case);
+            assert_eq!(
+                back.config().canonical_json(),
+                case.config().canonical_json()
+            );
+        }
+    }
+
+    #[test]
+    fn generator_is_deterministic_per_seed() {
+        let a: Vec<CaseSpec> = {
+            let mut rng = TestRng::new(3);
+            (0..20).map(|_| arbitrary_case(&mut rng)).collect()
+        };
+        let b: Vec<CaseSpec> = {
+            let mut rng = TestRng::new(3);
+            (0..20).map(|_| arbitrary_case(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn single_alu_is_always_single_core() {
+        let mut rng = TestRng::new(5);
+        for _ in 0..300 {
+            let case = arbitrary_case(&mut rng);
+            if let WorkloadDesc::Synth {
+                shape: SynthShape::SingleAlu,
+                ..
+            } = case.workload
+            {
+                assert_eq!(case.n_cores, 1);
+            }
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! # ptb-validate — property-based validation harness for the simulator
+//!
+//! Simulator reproductions live or die on correctness arguments, not
+//! unit tests alone: the paper's headline numbers (Figures 9–14) are
+//! integrals over millions of simulated cycles, and a silent accounting
+//! bug poisons every figure downstream. This crate supplies the
+//! correctness layer the experiment stack runs on:
+//!
+//! * [`gen`] — seeded, serialisable generation of simulation cases
+//!   ([`CaseSpec`]), covering core counts (including non-square mesh
+//!   shapes), budgets, every mechanism, PTB hardware geometry and both
+//!   benchmark and degenerate synthetic workloads. Implements the
+//!   vendored [`proptest::Strategy`], so cases compose with `proptest!`
+//!   tests and with the `sim_check` fuzzing binary alike.
+//! * [`oracle`] — invariant oracles over full runs: token conservation
+//!   and the energy integral (via [`ptb_obs::AuditObserver`]), report
+//!   arithmetic, per-mechanism budget-compliance bounds, bit-exact
+//!   determinism with observer non-interference, and metamorphic
+//!   monotonicity checks (budget ↓ ⇒ power ↓ and IPC ≤; cores ↑ on
+//!   embarrassingly parallel work ⇒ throughput ≥).
+//! * [`reference`] — a closed-form analytical model for the degenerate
+//!   single-core ALU workload, used as a differential oracle: predicted
+//!   committed instructions are exact, predicted cycle and energy bands
+//!   are thin enough to catch any unit-level accounting error.
+//! * [`shrink`] — greedy counterexample minimisation (the vendored
+//!   proptest does not shrink), producing small, replayable cases.
+//!
+//! The `sim_check` binary in `ptb-experiments` drives all of this from
+//! a seed for CI; failures are printed as replayable [`CaseSpec`] JSON
+//! plus the materialised [`ptb_core::SimConfig`] canonical JSON.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gen;
+pub mod oracle;
+pub mod reference;
+pub mod shrink;
+
+pub use gen::{arbitrary_case, CaseSpec, CaseStrategy, SynthShape, WorkloadDesc};
+pub use oracle::{
+    check_budget_monotonicity, check_case, check_core_scaling, check_mechanism_vs_baseline,
+    run_quiet, Violation,
+};
+pub use proptest::TestRng;
+pub use reference::{check_reference, predict, reference_case, Prediction};
+pub use shrink::shrink;

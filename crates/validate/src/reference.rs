@@ -1,0 +1,169 @@
+//! Closed-form reference model for the degenerate single-core workload.
+//!
+//! The [`crate::gen::SynthShape::SingleAlu`] case is constructed so that
+//! simple arithmetic predicts the simulator's output:
+//!
+//! * one thread, one compute block of `work` pure `IntAlu` instructions
+//!   (no loads/stores, no register dependences, no flaky branches), with
+//!   a 64-slot static loop body whose last slot is the taken back-edge;
+//! * mechanism `None` at budget 1.0 — no throttling, nominal voltage.
+//!
+//! Then:
+//!
+//! * **committed** must equal `work` exactly (the engine emits exactly
+//!   `count` instructions for a single-thread pure-compute program);
+//! * **cycles** ≈ `work / issue_width` plus a bounded startup/drain
+//!   transient (the 4-wide core sustains one full issue group per cycle
+//!   on independent single-cycle ALU ops);
+//! * **energy** lies between a floor of the per-instruction pipeline
+//!   costs plus leakage, and that floor plus a bounded per-cycle ROB
+//!   occupancy allowance (the only term the closed form does not pin
+//!   down exactly).
+//!
+//! A simulator change that miscounts tokens, double-charges a pipeline
+//! stage, drops committed instructions or breaks the issue logic moves
+//! the observed numbers outside these analytic bands.
+
+use crate::gen::{alu_profile, CaseSpec, SynthShape, WorkloadDesc};
+use crate::oracle::{run_quiet, Violation};
+use ptb_power::{PowerParams, TokenClass};
+use ptb_uarch::CoreConfig;
+
+/// Analytic prediction for a [`SynthShape::SingleAlu`] run of `work`
+/// instructions.
+#[derive(Debug, Clone, Copy)]
+pub struct Prediction {
+    /// Exact committed-instruction count.
+    pub committed: u64,
+    /// Inclusive cycle-count band.
+    pub cycles: (u64, u64),
+    /// Inclusive energy band in tokens (depends on the observed cycle
+    /// count, which multiplies the leakage and ROB terms).
+    pub energy: (f64, f64),
+}
+
+/// Per-cycle ROB-occupancy allowance (tokens) used for the energy
+/// ceiling: with single-cycle ALU ops the window drains as fast as it
+/// fills, so active + gated occupancy charges stay far below this.
+const ROB_ALLOWANCE: f64 = 40.0;
+
+/// Predict the reference run. `cycles_observed` feeds the energy band
+/// (leakage is charged per cycle, so the band scales with the real run
+/// length, which the cycle band itself validates).
+pub fn predict(work: u64, cycles_observed: u64) -> Prediction {
+    let p = PowerParams::default();
+    let c = CoreConfig::default();
+    let profile = alu_profile();
+    let l = profile.static_len as f64;
+
+    // Static body: `static_len - 1` IntAlu slots plus the Control
+    // back-edge.
+    let base_mix = ((l - 1.0) * p.base(TokenClass::IntSimple) + p.base(TokenClass::Control)) / l;
+    // Every instruction is fetched, decoded and issued once, and makes
+    // two PTHT accesses (fetch-time estimate, commit-time update).
+    let per_inst = p.fetch_cost + p.decode_cost + base_mix + 2.0 * p.ptht_access;
+
+    let ideal = work.div_ceil(c.issue_width as u64);
+    // Startup (cold I-cache, front-end fill) + drain + predictor
+    // warm-up transients; generous but still a thin band at real sizes.
+    let cycles_hi = ideal + ideal / 3 + 250;
+
+    let energy_lo = work as f64 * per_inst + cycles_observed as f64 * p.core_leakage;
+    let energy_hi = energy_lo + cycles_observed as f64 * ROB_ALLOWANCE
+        // Wrong-path fetches while the predictor warms up.
+        + 64.0 * p.wrongpath_cost;
+    Prediction {
+        committed: work,
+        cycles: (ideal, cycles_hi),
+        energy: (energy_lo * 0.999, energy_hi),
+    }
+}
+
+/// Build the reference case for `work` instructions.
+pub fn reference_case(work: u64, seed: u64) -> CaseSpec {
+    CaseSpec {
+        n_cores: 1,
+        budget_frac: 1.0,
+        mechanism: ptb_core::MechanismKind::None,
+        wire_bits: 4,
+        latency_override: None,
+        cluster_size: None,
+        workload: WorkloadDesc::Synth {
+            shape: SynthShape::SingleAlu,
+            work,
+        },
+        seed,
+    }
+}
+
+/// Run the differential oracle: simulate the reference case and compare
+/// against [`predict`].
+pub fn check_reference(work: u64, seed: u64) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let case = reference_case(work, seed);
+    let r = match run_quiet(&case) {
+        Ok(r) => r,
+        Err(e) => {
+            out.push(Violation {
+                oracle: "reference-liveness",
+                detail: format!("reference run ({work} insts) failed: {e}"),
+            });
+            return out;
+        }
+    };
+    let pred = predict(work, r.cycles);
+    if r.committed() != pred.committed {
+        out.push(Violation {
+            oracle: "reference-committed",
+            detail: format!(
+                "committed {} != exact prediction {} (work {work})",
+                r.committed(),
+                pred.committed
+            ),
+        });
+    }
+    if r.cycles < pred.cycles.0 || r.cycles > pred.cycles.1 {
+        out.push(Violation {
+            oracle: "reference-cycles",
+            detail: format!(
+                "cycles {} outside analytic band [{}, {}] (work {work})",
+                r.cycles, pred.cycles.0, pred.cycles.1
+            ),
+        });
+    }
+    if r.energy_tokens < pred.energy.0 || r.energy_tokens > pred.energy.1 {
+        out.push(Violation {
+            oracle: "reference-energy",
+            detail: format!(
+                "energy {} tokens outside analytic band [{:.1}, {:.1}] (work {work}, \
+                 cycles {})",
+                r.energy_tokens, pred.energy.0, pred.energy.1, r.cycles
+            ),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_model_matches_simulator() {
+        for (work, seed) in [(512, 1), (2048, 2), (10_000, 3)] {
+            let v = check_reference(work, seed);
+            assert!(v.is_empty(), "reference oracle fired: {v:?}");
+        }
+    }
+
+    #[test]
+    fn prediction_bands_are_sane() {
+        let p = predict(4096, 1100);
+        assert_eq!(p.committed, 4096);
+        assert!(p.cycles.0 <= p.cycles.1);
+        assert!(p.energy.0 < p.energy.1);
+        // Per-instruction cost dominates: the band is materially above
+        // pure leakage.
+        assert!(p.energy.0 > 4096.0 * 60.0);
+    }
+}

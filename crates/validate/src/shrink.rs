@@ -1,0 +1,224 @@
+//! Greedy counterexample shrinking.
+//!
+//! The vendored `proptest` reports failing cases but does not minimise
+//! them, so `ptb-validate` carries its own shrinker: a fixed list of
+//! simplifying transforms applied greedily until none of them preserves
+//! the failure. Each accepted transform re-runs the failing predicate
+//! (i.e. re-simulates), so shrinking cost is bounded by
+//! `transforms × rounds` simulations of ever-smaller cases.
+
+use crate::gen::{CaseSpec, SynthShape, WorkloadDesc};
+use ptb_core::{MechanismKind, PtbPolicy};
+
+/// Candidate one-step simplifications of `case`, most aggressive first.
+/// Every candidate is strictly "smaller" under a lexicographic measure
+/// (workload class, work size, core count, mechanism complexity, knob
+/// distance from defaults), which guarantees shrinking terminates.
+fn candidates(case: &CaseSpec) -> Vec<CaseSpec> {
+    let mut out = Vec::new();
+    let mut push = |c: CaseSpec| {
+        if c != *case {
+            out.push(c);
+        }
+    };
+
+    // Workload: benchmark -> parallel synthetic -> smaller work.
+    match case.workload {
+        WorkloadDesc::Bench(_) => {
+            push(CaseSpec {
+                workload: WorkloadDesc::Synth {
+                    shape: SynthShape::Parallel,
+                    work: 400,
+                },
+                ..case.clone()
+            });
+        }
+        WorkloadDesc::Synth { shape, work } => {
+            if work > 50 {
+                push(CaseSpec {
+                    workload: WorkloadDesc::Synth {
+                        shape,
+                        work: (work / 2).max(50),
+                    },
+                    ..case.clone()
+                });
+            }
+            if shape != SynthShape::Parallel && shape != SynthShape::SingleAlu {
+                push(CaseSpec {
+                    workload: WorkloadDesc::Synth {
+                        shape: SynthShape::Parallel,
+                        work,
+                    },
+                    ..case.clone()
+                });
+            }
+        }
+    }
+
+    // Fewer cores: try halving first, then a single step, so shrinking
+    // can cross odd counts (SingleAlu is pinned to one core already).
+    if case.n_cores > 1 {
+        push(CaseSpec {
+            n_cores: (case.n_cores / 2).max(1),
+            ..case.clone()
+        });
+        push(CaseSpec {
+            n_cores: case.n_cores - 1,
+            ..case.clone()
+        });
+    }
+
+    // Simpler mechanism, preserving "is a PTB mechanism" first so
+    // balancer bugs do not shrink into DVFS bugs unless they reproduce
+    // there too.
+    let simpler: &[MechanismKind] = match case.mechanism {
+        MechanismKind::PtbSpinGate { policy, relax } => {
+            &[MechanismKind::PtbTwoLevel { policy, relax }]
+        }
+        MechanismKind::PtbTwoLevel { policy, relax } => {
+            let mut v: Vec<MechanismKind> = Vec::new();
+            if relax != 0.0 {
+                v.push(MechanismKind::PtbTwoLevel { policy, relax: 0.0 });
+            }
+            if policy != PtbPolicy::ToAll {
+                v.push(MechanismKind::PtbTwoLevel {
+                    policy: PtbPolicy::ToAll,
+                    relax,
+                });
+            }
+            v.push(MechanismKind::TwoLevel);
+            return with_knob_shrinks(case, out, v);
+        }
+        MechanismKind::TwoLevel => &[MechanismKind::Dvfs],
+        MechanismKind::Dvfs | MechanismKind::Dfs => &[MechanismKind::None],
+        MechanismKind::None => &[],
+    };
+    let simpler = simpler.to_vec();
+    with_knob_shrinks(case, out, simpler)
+}
+
+fn with_knob_shrinks(
+    case: &CaseSpec,
+    mut out: Vec<CaseSpec>,
+    mechs: Vec<MechanismKind>,
+) -> Vec<CaseSpec> {
+    for m in mechs {
+        out.push(CaseSpec {
+            mechanism: m,
+            ..case.clone()
+        });
+    }
+    // PTB hardware knobs back to defaults.
+    if case.wire_bits != 4 {
+        out.push(CaseSpec {
+            wire_bits: 4,
+            ..case.clone()
+        });
+    }
+    if case.latency_override.is_some() {
+        out.push(CaseSpec {
+            latency_override: None,
+            ..case.clone()
+        });
+    }
+    if case.cluster_size.is_some() {
+        out.push(CaseSpec {
+            cluster_size: None,
+            ..case.clone()
+        });
+    }
+    // Budget toward the paper's 0.5.
+    if (case.budget_frac - 0.5).abs() > 0.05 {
+        out.push(CaseSpec {
+            budget_frac: 0.5,
+            ..case.clone()
+        });
+    }
+    if case.seed != 0 {
+        out.push(CaseSpec {
+            seed: 0,
+            ..case.clone()
+        });
+    }
+    out
+}
+
+/// Greedily shrink `case` while `fails` keeps returning `true`.
+/// `fails(case)` must be `true` on entry; the result is a (locally)
+/// minimal case that still fails. `max_steps` bounds total predicate
+/// evaluations (each one is a simulation).
+pub fn shrink(
+    case: &CaseSpec,
+    max_steps: usize,
+    mut fails: impl FnMut(&CaseSpec) -> bool,
+) -> CaseSpec {
+    let mut best = case.clone();
+    let mut steps = 0;
+    'outer: loop {
+        for cand in candidates(&best) {
+            if steps >= max_steps {
+                break 'outer;
+            }
+            steps += 1;
+            if fails(&cand) {
+                best = cand;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::arbitrary_case;
+    use proptest::TestRng;
+
+    /// Shrinking against an always-failing predicate must terminate at
+    /// a fully minimal case.
+    #[test]
+    fn shrink_reaches_fixpoint() {
+        let mut rng = TestRng::new(9);
+        for _ in 0..50 {
+            let case = arbitrary_case(&mut rng);
+            let min = shrink(&case, 10_000, |_| true);
+            assert_eq!(min.wire_bits, 4);
+            assert_eq!(min.latency_override, None);
+            assert_eq!(min.cluster_size, None);
+            assert_eq!(min.seed, 0);
+            assert_eq!(min.n_cores, 1);
+            assert!(matches!(min.mechanism, MechanismKind::None));
+            match min.workload {
+                WorkloadDesc::Synth { work, .. } => assert_eq!(work, 50),
+                WorkloadDesc::Bench(_) => panic!("benchmark survived shrinking"),
+            }
+        }
+    }
+
+    /// A predicate keyed to a specific property is preserved: the shrunk
+    /// case still satisfies it.
+    #[test]
+    fn shrink_preserves_failure_predicate() {
+        let mut rng = TestRng::new(13);
+        for _ in 0..50 {
+            let case = arbitrary_case(&mut rng);
+            if case.n_cores < 4 {
+                continue;
+            }
+            let min = shrink(&case, 10_000, |c| c.n_cores >= 2);
+            assert_eq!(min.n_cores, 2, "shrinks cores to the predicate floor");
+        }
+    }
+
+    /// Shrinking is deterministic.
+    #[test]
+    fn shrink_is_deterministic() {
+        let mut rng = TestRng::new(21);
+        let case = arbitrary_case(&mut rng);
+        let a = shrink(&case, 10_000, |c| c.n_cores >= 1);
+        let b = shrink(&case, 10_000, |c| c.n_cores >= 1);
+        assert_eq!(a, b);
+    }
+}

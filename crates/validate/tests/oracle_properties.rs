@@ -1,0 +1,64 @@
+//! Property tests driving the oracle suite through the vendored
+//! proptest: random cases drawn from [`CaseStrategy`] must satisfy every
+//! invariant. This is the in-tree (small-N) counterpart of the
+//! `sim_check` fuzzing binary; both share the generator and oracles, so
+//! a failure here replays there via the printed case JSON.
+
+use proptest::prelude::*;
+use ptb_validate::{
+    check_budget_monotonicity, check_case, check_mechanism_vs_baseline, CaseStrategy,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+    #[test]
+    fn random_cases_satisfy_all_invariants(case in CaseStrategy) {
+        let violations = check_case(&case);
+        prop_assert!(
+            violations.is_empty(),
+            "case {} violates: {}",
+            case.to_json(),
+            violations
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join("; ")
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+    #[test]
+    fn budget_tightening_is_monotone(case in CaseStrategy) {
+        let violations = check_budget_monotonicity(&case);
+        prop_assert!(
+            violations.is_empty(),
+            "case {} violates: {}",
+            case.to_json(),
+            violations
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join("; ")
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+    #[test]
+    fn mechanisms_only_remove_power(case in CaseStrategy) {
+        let violations = check_mechanism_vs_baseline(&case);
+        prop_assert!(
+            violations.is_empty(),
+            "case {} violates: {}",
+            case.to_json(),
+            violations
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join("; ")
+        );
+    }
+}

@@ -1,0 +1,131 @@
+//! Golden-figure regression tests.
+//!
+//! The committed CSVs under `tests/goldens/` pin the figure binaries'
+//! output at test scale: simulator changes that shift any reported
+//! number show up as a byte diff here, with the golden regenerable by
+//! re-running the command in the failure message. Figure 2 is cheap
+//! enough (4-core, test scale) to regenerate in-tree three ways — with
+//! the farm disabled, against a cold farm store, and against the warm
+//! store — which also pins that the caching layer is invisible to the
+//! output. Figure 9 (336 simulations) is pinned by the release-mode CI
+//! farm smoke step, which `cmp`s its CSVs against the same goldens.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn golden(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../tests/goldens")
+        .join(name)
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ptb-golden-{}-{tag}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Run `fig02_naive_budget` with a scrubbed environment: fixed scale
+/// and core count, output into `out`, farm either disabled or rooted at
+/// `farm` so ambient `PTB_*` settings cannot leak into the goldens.
+fn run_fig02(out: &Path, farm: Option<&Path>) {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_fig02_naive_budget"));
+    for var in [
+        "PTB_SCALE",
+        "PTB_JOBS",
+        "PTB_OUT",
+        "PTB_CORES",
+        "PTB_FARM_DIR",
+        "PTB_NO_CACHE",
+    ] {
+        cmd.env_remove(var);
+    }
+    cmd.env("PTB_SCALE", "test")
+        .env("PTB_CORES", "4")
+        .env("PTB_OUT", out);
+    match farm {
+        Some(dir) => cmd.env("PTB_FARM_DIR", dir),
+        None => cmd.env("PTB_NO_CACHE", "1"),
+    };
+    let status = cmd
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .status()
+        .expect("spawn fig02_naive_budget");
+    assert!(status.success(), "fig02_naive_budget exited with {status}");
+}
+
+fn assert_matches_golden(out: &Path, name: &str, how: &str) {
+    let got = std::fs::read_to_string(out.join(name)).unwrap();
+    let want = std::fs::read_to_string(golden(name)).unwrap();
+    assert!(
+        got == want,
+        "{name} ({how}) diverged from tests/goldens/{name}; if the change is \
+         intended, regenerate with:\n  PTB_SCALE=test PTB_CORES=4 PTB_NO_CACHE=1 \
+         PTB_OUT=tests/goldens cargo run --release --bin fig02_naive_budget\ngot:\n{got}"
+    );
+}
+
+#[test]
+fn fig02_output_matches_goldens_cached_and_uncached() {
+    let fig02_csvs = ["fig02_energy.csv", "fig02_aopb.csv"];
+
+    // Farm disabled: pure simulation output.
+    let no_cache = tmp_dir("fig02-nocache");
+    run_fig02(&no_cache, None);
+    for name in fig02_csvs {
+        assert_matches_golden(&no_cache, name, "no cache");
+    }
+
+    // Cold farm store (simulates + records), then warm (loads only):
+    // the cache layer must be byte-invisible.
+    let farm = tmp_dir("fig02-farm");
+    let cold = tmp_dir("fig02-cold");
+    run_fig02(&cold, Some(&farm));
+    for name in fig02_csvs {
+        assert_matches_golden(&cold, name, "cold farm");
+    }
+    let warm = tmp_dir("fig02-warm");
+    run_fig02(&warm, Some(&farm));
+    for name in fig02_csvs {
+        assert_matches_golden(&warm, name, "warm farm");
+    }
+
+    for dir in [no_cache, farm, cold, warm] {
+        std::fs::remove_dir_all(dir).ok();
+    }
+}
+
+/// The fig09 goldens are exercised by CI in release mode (the farm
+/// smoke step), but their presence and shape are pinned here so a
+/// botched regeneration cannot silently empty them.
+#[test]
+fn fig09_goldens_are_well_formed() {
+    for (name, header_prefix) in [
+        ("fig09_energy.csv", "# Figure 9 (left)"),
+        ("fig09_aopb.csv", "# Figure 9 (right)"),
+    ] {
+        let text = std::fs::read_to_string(golden(name)).unwrap();
+        let mut lines = text.lines();
+        let header = lines.next().unwrap_or_default();
+        assert!(
+            header.starts_with(header_prefix),
+            "{name}: unexpected header {header:?}"
+        );
+        let columns = lines.next().unwrap_or_default();
+        assert_eq!(
+            columns, "config,DVFS,DFS,2level,PTB+2level",
+            "{name}: unexpected column row"
+        );
+        let rows: Vec<&str> = lines.collect();
+        assert!(
+            rows.len() >= 6,
+            "{name}: expected ≥6 config rows, found {}",
+            rows.len()
+        );
+        for row in rows {
+            assert_eq!(row.split(',').count(), 5, "{name}: malformed row {row:?}");
+        }
+    }
+}
