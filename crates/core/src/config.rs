@@ -154,6 +154,14 @@ pub struct SimConfig {
     pub scale: Scale,
     /// Safety limit on simulated cycles.
     pub max_cycles: u64,
+    /// Livelock watchdog: abort with `SimError::CycleBudgetExceeded`
+    /// once *every* unfinished core has been spinning for this many
+    /// consecutive cycles (progress is then impossible — a spin only
+    /// exits when another core acts). `None` disables the watchdog.
+    /// Deserialises to `None` for configs written before the field
+    /// existed.
+    #[serde(default)]
+    pub spin_cycle_budget: Option<u64>,
     /// Capture a per-cycle power trace (figures 5/6); costs memory.
     pub capture_trace: bool,
     /// Lumped-RC thermal model constants (the paper's temperature-stability
@@ -187,6 +195,7 @@ impl Default for SimConfig {
             ptb: PtbConfig::default(),
             scale: Scale::Small,
             max_cycles: 80_000_000,
+            spin_cycle_budget: Some(1_000_000),
             capture_trace: false,
             thermal: ThermalParams::default(),
         }

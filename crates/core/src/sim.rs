@@ -32,6 +32,25 @@ pub enum SimError {
     },
     /// The workload does not match the machine.
     BadWorkload(String),
+    /// The livelock watchdog fired: every unfinished core spun for
+    /// `budget` consecutive cycles, so no core can ever make progress
+    /// (a spin only exits when another core acts). Surfaces deadlocked
+    /// or livelocked workloads as a structured error long before
+    /// `max_cycles` would.
+    CycleBudgetExceeded {
+        /// The configured all-spin cycle budget.
+        budget: u64,
+        /// Cycle at which the watchdog fired.
+        cycle: u64,
+        /// The cores that were spinning (all unfinished ones).
+        spinning: Vec<usize>,
+    },
+    /// The wall-clock deadline set via [`Simulation::with_deadline`]
+    /// passed before the run finished.
+    DeadlineExceeded {
+        /// Cycles simulated before the deadline hit.
+        cycles_done: u64,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -44,6 +63,19 @@ impl std::fmt::Display for SimError {
                 )
             }
             SimError::BadWorkload(s) => write!(f, "bad workload: {s}"),
+            SimError::CycleBudgetExceeded {
+                budget,
+                cycle,
+                spinning,
+            } => write!(
+                f,
+                "livelock: all unfinished cores {spinning:?} spun for {budget} \
+                 consecutive cycles (at cycle {cycle})"
+            ),
+            SimError::DeadlineExceeded { cycles_done } => write!(
+                f,
+                "wall-clock deadline exceeded after {cycles_done} simulated cycles"
+            ),
         }
     }
 }
@@ -61,6 +93,7 @@ fn phase_mark<O: SimObserver>(obs: &mut O, phase: Phase, start: Instant) -> Inst
 /// A configured simulation, ready to run workloads.
 pub struct Simulation {
     cfg: SimConfig,
+    deadline: Option<Instant>,
 }
 
 struct FabricEnv<'a> {
@@ -80,7 +113,21 @@ impl StreamEnv for FabricEnv<'_> {
 impl Simulation {
     /// Create a simulation from a config.
     pub fn new(cfg: SimConfig) -> Self {
-        Simulation { cfg }
+        Simulation {
+            cfg,
+            deadline: None,
+        }
+    }
+
+    /// Abort the run with [`SimError::DeadlineExceeded`] once wall-clock
+    /// time passes `deadline` (checked every 8192 simulated cycles).
+    ///
+    /// The deadline is a runtime watchdog, not part of [`SimConfig`]: it
+    /// never affects the simulated result, only whether a slow job is
+    /// cut off, so it is deliberately excluded from content hashing.
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
     }
 
     /// The configuration.
@@ -195,6 +242,7 @@ impl Simulation {
         }
         let mut phase_t = Instant::now();
 
+        let mut all_spin_run: u64 = 0;
         let mut cycle: u64 = 0;
         loop {
             cycle += 1;
@@ -204,6 +252,11 @@ impl Simulation {
                     limit: self.cfg.max_cycles,
                     unfinished,
                 });
+            }
+            if let Some(dl) = self.deadline {
+                if cycle & 0x1FFF == 0 && Instant::now() >= dl {
+                    return Err(SimError::DeadlineExceeded { cycles_done: cycle });
+                }
             }
 
             // 1. Memory system advances; completions reach the cores.
@@ -340,11 +393,17 @@ impl Simulation {
 
             // 5. Context/breakdown accounting.
             let mut all_done = true;
+            let mut unfinished_cores = 0usize;
+            let mut spinning_cores = 0usize;
             for c in 0..n {
                 let done = cores[c].is_done();
                 all_done &= done;
                 if !done {
+                    unfinished_cores += 1;
                     let ctx = cores[c].current_ctx();
+                    if ctx.spinning {
+                        spinning_cores += 1;
+                    }
                     ctx_cycles[c][ctx.state.bucket()] += 1;
                     if O::ENABLED && ctx.spinning != was_spinning[c] {
                         was_spinning[c] = ctx.spinning;
@@ -372,6 +431,27 @@ impl Simulation {
                     // A core that finishes mid-spin still closes its span.
                     was_spinning[c] = false;
                     obs.on_spin_exit(cycle, c);
+                }
+            }
+
+            // Livelock watchdog: a spin only exits when *another* core
+            // acts (releases a lock, reaches a barrier). If every
+            // unfinished core spins — uninterrupted — for the whole
+            // budget, no such action can ever come and the run would
+            // otherwise burn cycles until `max_cycles`.
+            if let Some(spin_budget) = self.cfg.spin_cycle_budget {
+                if unfinished_cores > 0 && spinning_cores == unfinished_cores {
+                    all_spin_run += 1;
+                    if all_spin_run >= spin_budget {
+                        let spinning = (0..n).filter(|&c| !cores[c].is_done()).collect::<Vec<_>>();
+                        return Err(SimError::CycleBudgetExceeded {
+                            budget: spin_budget,
+                            cycle,
+                            spinning,
+                        });
+                    }
+                } else {
+                    all_spin_run = 0;
                 }
             }
 

@@ -10,7 +10,7 @@
 
 use ptb_core::report::{normalized_aopb_pct, normalized_energy_pct, slowdown_pct};
 use ptb_core::{MechanismKind, PtbPolicy, SimConfig, Simulation};
-use ptb_experiments::{emit, Job, Runner};
+use ptb_experiments::{emit, emit_partial, Job, Runner};
 use ptb_metrics::{mean, Table};
 use ptb_workloads::Benchmark;
 
@@ -46,7 +46,7 @@ fn main() {
             n,
         ));
     }
-    let reports = runner.run_all(&jobs);
+    let sweep = runner.sweep(&jobs);
     let mut gate = Table::new(
         format!("Extension: PTB spin gating ({n}-core, contended benchmarks)"),
         &[
@@ -60,9 +60,11 @@ fn main() {
     );
     let mut cols = vec![Vec::new(); 5];
     for (bi, bench) in contended.iter().enumerate() {
-        let base = &reports[bi * 3];
-        let ptb = &reports[bi * 3 + 1];
-        let g = &reports[bi * 3 + 2];
+        // Complete rows only: every column shares the bench's baseline.
+        let Some(row) = sweep.row(bi * 3, 3) else {
+            continue;
+        };
+        let (base, ptb, g) = (row[0], row[1], row[2]);
         let vals = [
             normalized_energy_pct(base, ptb),
             normalized_energy_pct(base, g),
@@ -76,7 +78,7 @@ fn main() {
         gate.row_f(bench.name(), &vals, 1);
     }
     gate.row_f("Avg.", &cols.iter().map(|c| mean(c)).collect::<Vec<_>>(), 1);
-    emit(&runner, "ext_spin_gate", &gate);
+    emit_partial(&runner, "ext_spin_gate", &gate, &sweep.dropped_labels());
 
     // ---- 2. Clustered balancer at 32 cores ----------------------------
     let bench = Benchmark::Watersp;

@@ -1,17 +1,22 @@
 //! Operate on a `ptb-farm` result store without re-running a figure.
 //!
 //! ```text
-//! farm_ctl status            # entry count, pending jobs, store location
-//! farm_ctl resume            # run exactly the journal's unfinished jobs
+//! farm_ctl status            # entry count, pending + quarantined jobs
+//! farm_ctl resume            # run the journal's unfinished jobs, then
+//!                            # retry the quarantine manifest
 //! farm_ctl verify            # integrity-scan every entry, drop bad ones
 //! farm_ctl gc                # verify + compact the journal
 //! ```
 //!
 //! All subcommands honour `PTB_FARM_DIR` and the shared `--farm-dir
-//! PATH` flag; `resume` uses `PTB_JOBS` worker threads. Farm outcome
-//! counters are printed in the `farm.*` namespace via `ptb-obs`.
+//! PATH` flag; `resume` uses `PTB_JOBS` worker threads and honours
+//! `--job-timeout`. Jobs that fail again during a resume stay in (or
+//! are added to) `failed.jsonl`; jobs that now succeed are removed from
+//! it. Farm outcome counters are printed in the `farm.*` namespace via
+//! `ptb-obs` (plus `farm.chaos.*` under fault injection).
 
 use ptb_experiments::Runner;
+use ptb_farm::ExecConfig;
 
 fn main() {
     let mut args: Vec<String> = std::env::args().collect();
@@ -25,37 +30,81 @@ fn main() {
         "status" => {
             let keys = farm.store().keys().unwrap_or_default();
             let pending = farm.pending().unwrap_or_default();
+            let quarantined = farm.quarantine().load().unwrap_or_default();
             println!("farm store: {}", farm.dir().display());
-            println!("  entries:  {}", keys.len());
-            println!("  pending:  {}", pending.len());
+            println!("  entries:     {}", keys.len());
+            println!("  pending:     {}", pending.len());
             for (key, job) in &pending {
                 println!("    {} {}", &key[..12.min(key.len())], job.label());
             }
+            println!("  quarantined: {}", quarantined.len());
+            for e in &quarantined {
+                println!(
+                    "    {} {} [{}] {}",
+                    &e.key[..12.min(e.key.len())],
+                    e.label,
+                    e.kind,
+                    e.error
+                );
+            }
         }
         "resume" => {
+            let exec = ExecConfig {
+                watchdog: runner.job_timeout,
+                ..ExecConfig::new(runner.jobs)
+            };
             let pending = farm.pending().unwrap_or_default();
+            let mut failed = 0usize;
             if pending.is_empty() {
-                println!("nothing to resume");
-                return;
-            }
-            println!("resuming {} unfinished jobs…", pending.len());
-            match farm.resume(runner.jobs) {
-                Ok(done) => {
-                    for (key, report) in &done {
-                        println!(
-                            "  {} {}/{}c: {} cycles",
-                            &key[..12.min(key.len())],
-                            report.benchmark,
-                            report.n_cores,
-                            report.cycles
-                        );
+                println!("no pending journal jobs");
+            } else {
+                println!("resuming {} unfinished jobs…", pending.len());
+                match farm.try_resume(&exec) {
+                    Ok(done) => {
+                        for (key, outcome) in &done {
+                            let short = &key[..12.min(key.len())];
+                            match outcome {
+                                Ok(report) => println!(
+                                    "  {short} {}/{}c: {} cycles",
+                                    report.benchmark, report.n_cores, report.cycles
+                                ),
+                                Err(e) => {
+                                    println!("  {short} FAILED: {e}");
+                                    failed += 1;
+                                }
+                            }
+                        }
+                        // Quarantine what failed so it is replayable.
+                        for ((_, job), outcome) in pending.iter().zip(&done) {
+                            if let Err(e) = &outcome.1 {
+                                if let Err(qe) = farm.quarantine_job(job, e) {
+                                    eprintln!("warning: cannot quarantine: {qe}");
+                                }
+                            }
+                        }
                     }
-                    print_counters(farm);
+                    Err(e) => {
+                        eprintln!("error: resume failed: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            }
+            // Second leg: retry the quarantine manifest. Recovered jobs
+            // drop out of failed.jsonl; persistent ones stay.
+            match farm.retry_quarantined(&exec) {
+                Ok((0, 0)) => println!("quarantine empty"),
+                Ok((recovered, still)) => {
+                    println!("quarantine: {recovered} recovered, {still} still failing");
+                    failed += still;
                 }
                 Err(e) => {
-                    eprintln!("error: resume failed: {e}");
+                    eprintln!("error: quarantine retry failed: {e}");
                     std::process::exit(1);
                 }
+            }
+            print_counters(farm);
+            if failed > 0 {
+                std::process::exit(1);
             }
         }
         "verify" | "gc" => {
@@ -92,6 +141,6 @@ fn main() {
 
 fn print_counters(farm: &ptb_farm::Farm) {
     let mut registry = ptb_obs::CounterRegistry::new();
-    registry.merge(&farm.stats().counters());
+    registry.merge(&farm.counters());
     print!("{}", registry.to_table("farm counters").to_text());
 }

@@ -8,7 +8,7 @@
 //! unit — the motivation for PTB.
 
 use ptb_core::MechanismKind;
-use ptb_experiments::{emit, Job, Runner};
+use ptb_experiments::{emit_partial, Job, Runner};
 use ptb_metrics::{mean, Table};
 use ptb_workloads::Benchmark;
 
@@ -29,7 +29,7 @@ fn main() {
             jobs.push(Job::new(bench, m, n));
         }
     }
-    let reports = runner.run_all(&jobs);
+    let sweep = runner.sweep(&jobs);
 
     let mut energy = Table::new(
         format!(
@@ -45,11 +45,16 @@ fn main() {
     let mut cols_energy = vec![Vec::new(); mechs.len()];
     let mut cols_aopb = vec![Vec::new(); mechs.len()];
     for (bi, bench) in Benchmark::ALL.iter().enumerate() {
-        let base = &reports[bi * stride];
+        // Complete rows only: a bench whose baseline or any mechanism
+        // point was quarantined is dropped (named in the footer).
+        let Some(row) = sweep.row(bi * stride, stride) else {
+            continue;
+        };
+        let base = row[0];
         let mut evals = Vec::new();
         let mut avals = Vec::new();
         for (mi, _) in mechs.iter().enumerate() {
-            let r = &reports[bi * stride + 1 + mi];
+            let r = row[1 + mi];
             let e = ptb_core::report::normalized_energy_pct(base, r);
             let a = ptb_core::report::normalized_aopb_pct(base, r);
             evals.push(e);
@@ -71,6 +76,7 @@ fn main() {
         1,
     );
 
-    emit(&runner, "fig02_energy", &energy);
-    emit(&runner, "fig02_aopb", &aopb);
+    let dropped = sweep.dropped_labels();
+    emit_partial(&runner, "fig02_energy", &energy, &dropped);
+    emit_partial(&runner, "fig02_aopb", &aopb, &dropped);
 }

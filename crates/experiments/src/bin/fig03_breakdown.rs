@@ -7,7 +7,7 @@
 //! cholesky/blackscholes/swaptions/x264 show almost no contention.
 
 use ptb_core::MechanismKind;
-use ptb_experiments::{emit, Job, Runner};
+use ptb_experiments::{emit_partial, Job, Runner};
 use ptb_metrics::Table;
 use ptb_workloads::Benchmark;
 
@@ -22,7 +22,7 @@ fn main() {
             jobs.push(Job::new(bench, MechanismKind::None, n));
         }
     }
-    let reports = runner.run_all(&jobs);
+    let sweep = runner.sweep(&jobs);
 
     let mut table = Table::new(
         "Figure 3: execution-time breakdown (%), per benchmark and core count",
@@ -30,7 +30,11 @@ fn main() {
     );
     for (bi, bench) in Benchmark::ALL.iter().enumerate() {
         for (ci, n) in CORE_COUNTS.iter().enumerate() {
-            let r = &reports[bi * CORE_COUNTS.len() + ci];
+            // Points are independent here (no shared baseline), so drop
+            // only the failed point, not the whole bench.
+            let Some(r) = sweep.get(bi * CORE_COUNTS.len() + ci) else {
+                continue;
+            };
             let f = r.breakdown_frac();
             table.row(vec![
                 bench.name().to_string(),
@@ -42,5 +46,5 @@ fn main() {
             ]);
         }
     }
-    emit(&runner, "fig03_breakdown", &table);
+    emit_partial(&runner, "fig03_breakdown", &table, &sweep.dropped_labels());
 }

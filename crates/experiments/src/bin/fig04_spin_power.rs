@@ -7,7 +7,7 @@
 //! spinning).
 
 use ptb_core::MechanismKind;
-use ptb_experiments::{emit, Job, Runner};
+use ptb_experiments::{emit_partial, Job, Runner};
 use ptb_metrics::{mean, Table};
 use ptb_workloads::Benchmark;
 
@@ -22,7 +22,7 @@ fn main() {
             jobs.push(Job::new(bench, MechanismKind::None, n));
         }
     }
-    let reports = runner.run_all(&jobs);
+    let sweep = runner.sweep(&jobs);
 
     let mut table = Table::new(
         "Figure 4: spinlock power as % of total power, per benchmark and core count",
@@ -30,9 +30,16 @@ fn main() {
     );
     let mut per_count: Vec<Vec<f64>> = vec![Vec::new(); CORE_COUNTS.len()];
     for (bi, bench) in Benchmark::ALL.iter().enumerate() {
-        let vals: Vec<f64> = (0..CORE_COUNTS.len())
-            .map(|ci| {
-                let v = reports[bi * CORE_COUNTS.len() + ci].spin_power_frac() * 100.0;
+        // The row spans one bench across all core counts; keep it only
+        // when every count simulated (a gap would skew the column Avg.).
+        let Some(row) = sweep.row(bi * CORE_COUNTS.len(), CORE_COUNTS.len()) else {
+            continue;
+        };
+        let vals: Vec<f64> = row
+            .iter()
+            .enumerate()
+            .map(|(ci, r)| {
+                let v = r.spin_power_frac() * 100.0;
                 per_count[ci].push(v);
                 v
             })
@@ -44,5 +51,5 @@ fn main() {
         &per_count.iter().map(|c| mean(c)).collect::<Vec<_>>(),
         2,
     );
-    emit(&runner, "fig04_spin_power", &table);
+    emit_partial(&runner, "fig04_spin_power", &table, &sweep.dropped_labels());
 }

@@ -6,12 +6,12 @@
 //! mechanisms.
 
 use ptb_core::PtbPolicy;
-use ptb_experiments::{detail_figure, emit, slowdown_table, Runner};
+use ptb_experiments::{detail_figure, emit_partial, slowdown_table, Runner};
 
 fn main() {
     let mut args: Vec<String> = std::env::args().collect();
     let runner = Runner::from_env_args(&mut args);
-    let (jobs, reports) = detail_figure(
+    let (jobs, sweep) = detail_figure(
         &runner,
         PtbPolicy::Dynamic,
         0.0,
@@ -20,8 +20,13 @@ fn main() {
     );
     let table = slowdown_table(
         &jobs,
-        &reports,
+        &sweep,
         "Figure 13: performance slowdown %, 16-core, dynamic policy selector",
     );
-    emit(&runner, "fig13_performance", &table);
+    emit_partial(
+        &runner,
+        "fig13_performance",
+        &table,
+        &sweep.dropped_labels(),
+    );
 }

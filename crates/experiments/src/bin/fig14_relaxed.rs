@@ -9,7 +9,7 @@
 
 use ptb_core::report::{normalized_aopb_pct, normalized_energy_pct};
 use ptb_core::{MechanismKind, PtbPolicy};
-use ptb_experiments::{emit, Job, Runner};
+use ptb_experiments::{emit_partial, Job, Runner};
 use ptb_metrics::{mean, Table};
 use ptb_workloads::Benchmark;
 
@@ -39,13 +39,13 @@ fn main() {
             }
         }
     }
-    let reports = runner.run_all(&jobs);
-    let find = |bench: Benchmark, mech: MechanismKind, n: usize| -> &ptb_core::RunReport {
+    let sweep = runner.sweep(&jobs);
+    let find = |bench: Benchmark, mech: MechanismKind, n: usize| -> Option<&ptb_core::RunReport> {
         let idx = jobs
             .iter()
             .position(|j| j.bench == bench && j.mech == mech && j.n_cores == n)
             .expect("job exists");
-        &reports[idx]
+        sweep.get(idx)
     };
 
     let mut energy = Table::new(
@@ -64,8 +64,14 @@ fn main() {
             let mut es = Vec::new();
             let mut as_ = Vec::new();
             for bench in Benchmark::ALL {
-                let base = find(bench, MechanismKind::None, n);
-                let r = find(bench, MechanismKind::Dvfs, n);
+                // Averages are over the benchmarks whose baseline AND
+                // mechanism point both survived the sweep.
+                let (Some(base), Some(r)) = (
+                    find(bench, MechanismKind::None, n),
+                    find(bench, MechanismKind::Dvfs, n),
+                ) else {
+                    continue;
+                };
                 es.push(normalized_energy_pct(base, r));
                 as_.push(normalized_aopb_pct(base, r));
             }
@@ -76,8 +82,11 @@ fn main() {
                 let mut es = Vec::new();
                 let mut as_ = Vec::new();
                 for bench in Benchmark::ALL {
-                    let base = find(bench, MechanismKind::None, n);
-                    let r = find(bench, mech, n);
+                    let (Some(base), Some(r)) =
+                        (find(bench, MechanismKind::None, n), find(bench, mech, n))
+                    else {
+                        continue;
+                    };
                     es.push(normalized_energy_pct(base, r));
                     as_.push(normalized_aopb_pct(base, r));
                 }
@@ -89,6 +98,7 @@ fn main() {
             aopb.row_f(&label, &a_row, 1);
         }
     }
-    emit(&runner, "fig14_energy", &energy);
-    emit(&runner, "fig14_aopb", &aopb);
+    let dropped = sweep.dropped_labels();
+    emit_partial(&runner, "fig14_energy", &energy, &dropped);
+    emit_partial(&runner, "fig14_aopb", &aopb, &dropped);
 }

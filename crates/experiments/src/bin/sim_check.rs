@@ -17,12 +17,16 @@
 //!
 //! `--seed` accepts decimal, `0x` hex, or any other string (hashed
 //! deterministically, so `--seed 0xPTB` is a valid spelling). `--replay`
-//! re-runs one stored case JSON verbosely instead of fuzzing.
+//! re-runs stored case JSON verbosely instead of fuzzing; it accepts a
+//! bare `CaseSpec`, a `sim_check_failure.json` envelope, or a farm
+//! quarantine manifest (`failed.jsonl`) whose entries are replayed one
+//! by one at test scale under the full oracle suite.
 
+use ptb_farm::QuarantineEntry;
 use ptb_validate::TestRng;
 use ptb_validate::{
     arbitrary_case, check_budget_monotonicity, check_case, check_core_scaling,
-    check_mechanism_vs_baseline, check_reference, shrink, CaseSpec, Violation,
+    check_mechanism_vs_baseline, check_reference, shrink, CaseSpec, Violation, WorkloadDesc,
 };
 use std::io::Write as _;
 use std::process::ExitCode;
@@ -107,6 +111,56 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
+/// Map a quarantined farm job onto the oracle harness. The mapping
+/// deliberately re-materialises at `Scale::Test` (CaseSpec's fixed
+/// scale): the point of a quarantine replay is to interrogate the
+/// configuration that failed under the full oracle suite cheaply, not
+/// to reproduce its exact (possibly hours-long) run length.
+fn case_from_quarantine(e: &QuarantineEntry) -> CaseSpec {
+    CaseSpec {
+        n_cores: e.job.config.n_cores,
+        budget_frac: e.job.config.budget_frac,
+        mechanism: e.job.config.mechanism,
+        wire_bits: e.job.config.ptb.wire_bits,
+        latency_override: e.job.config.ptb.latency_override,
+        cluster_size: e.job.config.ptb.cluster_size,
+        workload: WorkloadDesc::Bench(e.job.bench),
+        seed: 0,
+    }
+}
+
+/// Parse a `--replay` file into labelled cases. Accepts, in order:
+/// a bare single-line `CaseSpec`, a `sim_check_failure.json` envelope
+/// (`{"case": …}`), or a quarantine manifest — JSONL where each line
+/// is a `QuarantineEntry` carrying a replayable `FarmJob`.
+fn parse_replay_file(text: &str) -> Result<Vec<(String, CaseSpec)>, String> {
+    if let Ok(case) = CaseSpec::from_json(text.trim()) {
+        return Ok(vec![("case".into(), case)]);
+    }
+    if let Ok(v) = serde::json::parse(text) {
+        if let Some(c) = v.get("case") {
+            let case = CaseSpec::from_json(&serde::json::to_string(c))?;
+            return Ok(vec![("case".into(), case)]);
+        }
+        if v.get("job").is_some() {
+            let e = QuarantineEntry::from_value(&v)?;
+            return Ok(vec![(e.label.clone(), case_from_quarantine(&e))]);
+        }
+    }
+    // JSONL quarantine manifest: one entry per line, torn tails skipped.
+    let cases: Vec<(String, CaseSpec)> = text
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .filter_map(|l| serde::json::parse(l).ok())
+        .filter_map(|v| QuarantineEntry::from_value(&v).ok())
+        .map(|e| (e.label.clone(), case_from_quarantine(&e)))
+        .collect();
+    if cases.is_empty() {
+        return Err("not a CaseSpec, failure envelope, or quarantine manifest".into());
+    }
+    Ok(cases)
+}
+
 /// All oracles for one case; metamorphic checks are opt-in because they
 /// cost extra simulations.
 fn check_all(case: &CaseSpec, metamorphic: bool) -> Vec<Violation> {
@@ -180,33 +234,32 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             }
         };
-        // Accept either a bare CaseSpec or a sim_check_failure.json.
-        let case = CaseSpec::from_json(text.trim()).or_else(|_| {
-            serde::json::parse(&text)
-                .map_err(|e| format!("{e}"))
-                .and_then(|v| {
-                    v.get("case")
-                        .ok_or_else(|| "no `case` key".to_string())
-                        .and_then(|c| CaseSpec::from_json(&serde::json::to_string(c)))
-                })
-        });
-        let case = match case {
+        let cases = match parse_replay_file(&text) {
             Ok(c) => c,
             Err(e) => {
                 eprintln!("sim_check: cannot parse {path}: {e}");
                 return ExitCode::from(2);
             }
         };
-        eprintln!("replaying {}", case.to_json());
-        let violations = check_all(&case, true);
-        if violations.is_empty() {
-            eprintln!("replay PASSED: all oracles hold");
+        let mut failed = 0usize;
+        for (label, case) in &cases {
+            eprintln!("replaying [{label}] {}", case.to_json());
+            let violations = check_all(case, true);
+            if violations.is_empty() {
+                eprintln!("  PASSED: all oracles hold");
+            } else {
+                failed += 1;
+                eprintln!("  FAILED:");
+                for v in &violations {
+                    eprintln!("    {v}");
+                }
+            }
+        }
+        if failed == 0 {
+            eprintln!("replay PASSED: {} case(s), all oracles hold", cases.len());
             return ExitCode::SUCCESS;
         }
-        eprintln!("replay FAILED:");
-        for v in &violations {
-            eprintln!("  {v}");
-        }
+        eprintln!("replay FAILED: {failed}/{} case(s)", cases.len());
         return ExitCode::FAILURE;
     }
 

@@ -29,7 +29,7 @@ pub mod obs;
 pub mod runner;
 
 pub use obs::ObsArgs;
-pub use runner::{emit, Job, Runner};
+pub use runner::{emit, emit_partial, Job, Runner, Sweep};
 
 use ptb_core::report::{normalized_aopb_pct, normalized_energy_pct, slowdown_pct};
 use ptb_core::{MechanismKind, PtbPolicy};
@@ -50,15 +50,18 @@ pub fn detail_mechanisms(ptb: MechanismKind) -> Vec<MechanismKind> {
 /// and AoPB at the default core count for DVFS/DFS/2-level/PTB with the
 /// given policy (and, for Figure 13, per-benchmark slowdown).
 ///
-/// Emits `<stem>_energy`, `<stem>_aopb` and returns the reports for any
-/// extra processing.
+/// Runs with per-job failure isolation (see [`Runner::sweep`]): in
+/// `--keep-going` mode a bench whose baseline or any mechanism point
+/// failed is dropped from the tables (and named in the artefact
+/// footer). Emits `<stem>_energy`, `<stem>_aopb` and returns the jobs
+/// and sweep for any extra processing.
 pub fn detail_figure(
     runner: &Runner,
     policy: PtbPolicy,
     relax: f64,
     stem: &str,
     figure_label: &str,
-) -> (Vec<Job>, Vec<ptb_core::RunReport>) {
+) -> (Vec<Job>, Sweep) {
     let n = runner.default_cores();
     let ptb = MechanismKind::PtbTwoLevel { policy, relax };
     let mechs = detail_mechanisms(ptb);
@@ -69,7 +72,7 @@ pub fn detail_figure(
             jobs.push(Job::new(bench, m, n));
         }
     }
-    let reports = runner.run_all(&jobs);
+    let sweep = runner.sweep(&jobs);
     let stride = 1 + mechs.len();
 
     let headers = ["bench", "DVFS", "DFS", "2level", "PTB+2level"];
@@ -90,11 +93,14 @@ pub fn detail_figure(
     let mut e_cols = vec![Vec::new(); mechs.len()];
     let mut a_cols = vec![Vec::new(); mechs.len()];
     for (bi, bench) in Benchmark::ALL.iter().enumerate() {
-        let base = &reports[bi * stride];
+        let Some(row) = sweep.row(bi * stride, stride) else {
+            continue; // complete rows only; footer names the gaps
+        };
+        let base = row[0];
         let mut es = Vec::new();
         let mut as_ = Vec::new();
         for mi in 0..mechs.len() {
-            let r = &reports[bi * stride + 1 + mi];
+            let r = row[1 + mi];
             let e = normalized_energy_pct(base, r);
             let a = normalized_aopb_pct(base, r);
             es.push(e);
@@ -115,23 +121,28 @@ pub fn detail_figure(
         &a_cols.iter().map(|c| mean(c)).collect::<Vec<_>>(),
         1,
     );
-    emit(runner, &format!("{stem}_energy"), &energy);
-    emit(runner, &format!("{stem}_aopb"), &aopb);
-    (jobs, reports)
+    let dropped = sweep.dropped_labels();
+    emit_partial(runner, &format!("{stem}_energy"), &energy, &dropped);
+    emit_partial(runner, &format!("{stem}_aopb"), &aopb, &dropped);
+    (jobs, sweep)
 }
 
 /// Figure 13 companion: per-benchmark performance slowdown table from the
-/// reports produced by [`detail_figure`].
-pub fn slowdown_table(jobs: &[Job], reports: &[ptb_core::RunReport], title: &str) -> Table {
+/// sweep produced by [`detail_figure`]. Incomplete benches are skipped,
+/// matching the energy/AoPB tables.
+pub fn slowdown_table(jobs: &[Job], sweep: &Sweep, title: &str) -> Table {
     let mechs_per_bench = 5; // baseline + 4 mechanisms
     let mut table = Table::new(title, &["bench", "DVFS", "DFS", "2level", "PTB+2level"]);
     let mut cols = vec![Vec::new(); 4];
     for (bi, bench) in Benchmark::ALL.iter().enumerate() {
-        let base = &reports[bi * mechs_per_bench];
+        let Some(row) = sweep.row(bi * mechs_per_bench, mechs_per_bench) else {
+            continue;
+        };
+        let base = row[0];
         debug_assert_eq!(jobs[bi * mechs_per_bench].bench, *bench);
         let mut vals = Vec::new();
         for mi in 0..4 {
-            let s = slowdown_pct(base, &reports[bi * mechs_per_bench + 1 + mi]);
+            let s = slowdown_pct(base, row[1 + mi]);
             vals.push(s);
             cols[mi].push(s);
         }

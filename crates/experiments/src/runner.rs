@@ -9,11 +9,12 @@
 
 use parking_lot::Mutex;
 use ptb_core::{MechanismKind, RunReport, SimConfig, Simulation};
-use ptb_farm::{Farm, FarmJob};
+use ptb_farm::{exec, ExecConfig, Farm, FarmJob, JobError, Quarantine};
 use ptb_metrics::Table;
 use ptb_workloads::{Benchmark, Scale};
-use std::collections::VecDeque;
+use std::collections::{HashSet, VecDeque};
 use std::path::PathBuf;
+use std::time::Duration;
 
 /// One simulation to run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -51,6 +52,15 @@ pub struct Runner {
     /// Result farm (content-addressed cache + journal); `None` runs
     /// every simulation in-process without persistence.
     pub farm: Option<Farm>,
+    /// Degraded-completion contract for [`Runner::sweep`]: `true`
+    /// (`--keep-going`) quarantines failed jobs and emits partial
+    /// artefacts; `false` (`--fail-fast`, the default) quarantines and
+    /// exits nonzero at the first failed batch.
+    pub keep_going: bool,
+    /// Per-job wall-clock watchdog for [`Runner::sweep`]; a job that
+    /// exceeds it is reported as timed out rather than hanging the
+    /// sweep. `None` disables.
+    pub job_timeout: Option<Duration>,
 }
 
 /// Parse a `PTB_SCALE` value. `Err` carries a warning for unparsable
@@ -116,11 +126,21 @@ impl Runner {
         let out_dir = std::env::var("PTB_OUT")
             .map(PathBuf::from)
             .unwrap_or_else(|_| PathBuf::from("target/figures"));
+        let keep_going = std::env::var("PTB_KEEP_GOING")
+            .map(|v| v != "0")
+            .unwrap_or(false);
+        let job_timeout = std::env::var("PTB_JOB_TIMEOUT")
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .filter(|s| *s > 0.0)
+            .map(Duration::from_secs_f64);
         Runner {
             scale,
             jobs,
             out_dir,
             farm: Farm::from_env(),
+            keep_going,
+            job_timeout,
         }
     }
 
@@ -129,37 +149,71 @@ impl Runner {
     /// each binary's positional parsing runs on what remains:
     ///
     /// * `--no-cache` — bypass the farm entirely (like `PTB_NO_CACHE`);
-    /// * `--farm-dir PATH` — store location (overrides `PTB_FARM_DIR`).
+    /// * `--farm-dir PATH` — store location (overrides `PTB_FARM_DIR`);
+    /// * `--keep-going` / `--fail-fast` — quarantine failed jobs and
+    ///   emit partial artefacts vs. exit nonzero on the first failed
+    ///   batch (the default; overrides `PTB_KEEP_GOING`);
+    /// * `--job-timeout SECS` — per-job wall-clock watchdog (overrides
+    ///   `PTB_JOB_TIMEOUT`).
     pub fn from_env_args(argv: &mut Vec<String>) -> Self {
         let mut no_cache = false;
         let mut farm_dir: Option<PathBuf> = None;
+        let mut keep_going: Option<bool> = None;
+        let mut job_timeout: Option<Duration> = None;
         let mut i = 0;
         while i < argv.len() {
             let (flag, inline) = match argv[i].split_once('=') {
                 Some((f, v)) => (f.to_owned(), Some(v.to_owned())),
                 None => (argv[i].clone(), None),
             };
+            let take_value = |argv: &mut Vec<String>, i: usize| {
+                inline.clone().unwrap_or_else(|| {
+                    if i < argv.len() {
+                        argv.remove(i)
+                    } else {
+                        eprintln!("error: {flag} requires a value");
+                        std::process::exit(2);
+                    }
+                })
+            };
             match flag.as_str() {
                 "--no-cache" => {
                     argv.remove(i);
                     no_cache = true;
                 }
+                "--keep-going" => {
+                    argv.remove(i);
+                    keep_going = Some(true);
+                }
+                "--fail-fast" => {
+                    argv.remove(i);
+                    keep_going = Some(false);
+                }
                 "--farm-dir" => {
                     argv.remove(i);
-                    let value = inline.unwrap_or_else(|| {
-                        if i < argv.len() {
-                            argv.remove(i)
-                        } else {
-                            eprintln!("error: --farm-dir requires a PATH argument");
+                    farm_dir = Some(PathBuf::from(take_value(argv, i)));
+                }
+                "--job-timeout" => {
+                    argv.remove(i);
+                    let raw = take_value(argv, i);
+                    match raw.parse::<f64>() {
+                        Ok(s) if s > 0.0 => job_timeout = Some(Duration::from_secs_f64(s)),
+                        _ => {
+                            eprintln!("error: --job-timeout requires a positive number of seconds");
                             std::process::exit(2);
                         }
-                    });
-                    farm_dir = Some(PathBuf::from(value));
+                    }
                 }
                 _ => i += 1,
             }
         }
         let mut runner = Runner::from_env();
+        if let Some(kg) = keep_going {
+            runner.keep_going = kg;
+        }
+        if job_timeout.is_some() {
+            runner.job_timeout = job_timeout;
+        }
         if no_cache {
             runner.farm = None;
         } else if let Some(dir) = farm_dir {
@@ -273,6 +327,152 @@ impl Runner {
             .map(|r| r.expect("job completed"))
             .collect()
     }
+
+    /// Executor policy for failure-isolating sweeps.
+    fn exec_config(&self) -> ExecConfig {
+        ExecConfig {
+            watchdog: self.job_timeout,
+            ..ExecConfig::new(self.jobs)
+        }
+    }
+
+    /// Run all jobs with per-job failure isolation — the degraded-
+    /// completion path behind every figure binary.
+    ///
+    /// Each job runs inside `catch_unwind` with bounded retry for
+    /// transient faults and the runner's wall-clock watchdog; a failed
+    /// job occupies its slot as `None` instead of aborting the sweep.
+    /// Every failure is appended to the quarantine manifest
+    /// (`failed.jsonl` in the farm directory, or the output directory
+    /// when running uncached) as a replayable job for `farm_ctl resume`
+    /// and `sim_check --replay`. In fail-fast mode (the default) the
+    /// process then exits with status 1; with `--keep-going` the
+    /// partial [`Sweep`] is returned so callers can emit partial
+    /// artefacts with a footer naming the dropped points.
+    pub fn sweep(&self, jobs: &[Job]) -> Sweep {
+        if jobs.is_empty() {
+            return Sweep::default();
+        }
+        let outcomes: Vec<Result<RunReport, JobError>> = if let Some(farm) = &self.farm {
+            let fjobs: Vec<FarmJob> = jobs.iter().map(|j| self.farm_job(j)).collect();
+            let before = farm.stats();
+            let outcomes = farm.try_run_batch(&fjobs, &self.exec_config());
+            let batch = farm.stats().since(&before);
+            eprintln!(
+                "[farm] {} (store {})",
+                batch.summary(),
+                farm.dir().display()
+            );
+            outcomes
+        } else {
+            exec::run_work_stealing(jobs.to_vec(), &self.exec_config(), |job, ctx| {
+                self.farm_job(job).try_simulate(ctx.deadline)
+            })
+        };
+
+        let mut reports = Vec::with_capacity(jobs.len());
+        let mut failures: Vec<(Job, JobError)> = Vec::new();
+        for (job, outcome) in jobs.iter().zip(outcomes) {
+            match outcome {
+                Ok(r) => reports.push(Some(r)),
+                Err(e) => {
+                    reports.push(None);
+                    failures.push((*job, e));
+                }
+            }
+        }
+        if !failures.is_empty() {
+            self.quarantine_failures(&failures);
+            if !self.keep_going {
+                eprintln!(
+                    "error: {} job(s) failed and --keep-going is not set; \
+                     rerun with --keep-going for partial artefacts, or replay \
+                     the quarantine manifest with `sim_check --replay`",
+                    failures.len()
+                );
+                std::process::exit(1);
+            }
+        }
+        Sweep { reports, failures }
+    }
+
+    /// Append each unique failed job to the quarantine manifest and
+    /// report where it went. Duplicated jobs (same content key) are
+    /// quarantined once.
+    fn quarantine_failures(&self, failures: &[(Job, JobError)]) {
+        let quarantine = match &self.farm {
+            Some(farm) => farm.quarantine(),
+            None => Quarantine::in_dir(&self.out_dir),
+        };
+        let mut seen = HashSet::new();
+        for (job, err) in failures {
+            let fjob = self.farm_job(job);
+            eprintln!("[sweep] FAILED {}: {err}", fjob.label());
+            if !seen.insert(fjob.key()) {
+                continue;
+            }
+            let res = match &self.farm {
+                Some(farm) => farm.quarantine_job(&fjob, err),
+                None => quarantine.record(&ptb_farm::QuarantineEntry::new(&fjob, err)),
+            };
+            if let Err(e) = res {
+                eprintln!("warning: cannot quarantine {}: {e}", fjob.label());
+            }
+        }
+        eprintln!(
+            "[sweep] {} failed job(s) quarantined to {}",
+            failures.len(),
+            quarantine.path().display()
+        );
+    }
+}
+
+/// Outcome of a failure-isolating [`Runner::sweep`]: one slot per job
+/// (in job order), with failed jobs' slots empty and their errors
+/// collected separately.
+#[derive(Default)]
+pub struct Sweep {
+    /// One entry per submitted job; `None` marks a failed job.
+    pub reports: Vec<Option<RunReport>>,
+    /// The failed jobs and why, in job order.
+    pub failures: Vec<(Job, JobError)>,
+}
+
+impl Sweep {
+    /// The report for job slot `idx`, if it succeeded.
+    pub fn get(&self, idx: usize) -> Option<&RunReport> {
+        self.reports.get(idx).and_then(|r| r.as_ref())
+    }
+
+    /// True when every job produced a report.
+    pub fn complete(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// Unwrap into plain reports, panicking if any job failed. The
+    /// bridge for callers that have already established completeness.
+    pub fn expect_complete(self) -> Vec<RunReport> {
+        self.reports
+            .into_iter()
+            .map(|r| r.expect("sweep incomplete: a job failed"))
+            .collect()
+    }
+
+    /// The `len` consecutive reports starting at slot `start`, if every
+    /// one of them succeeded — the "complete rows only" policy: a figure
+    /// row whose baseline or any mechanism point failed is skipped
+    /// entirely rather than plotted against a partial denominator.
+    pub fn row(&self, start: usize, len: usize) -> Option<Vec<&RunReport>> {
+        (start..start + len).map(|i| self.get(i)).collect()
+    }
+
+    /// Labels of the failed jobs (for partial-artefact footers).
+    pub fn dropped_labels(&self) -> Vec<String> {
+        self.failures
+            .iter()
+            .map(|(job, _)| format!("{}/{}/{}c", job.bench, job.mech.label(), job.n_cores))
+            .collect()
+    }
 }
 
 // `RunReport` contains no interior mutability and Simulation is
@@ -282,7 +482,23 @@ impl Runner {
 /// Print a table and write `.txt` + `.csv` artefacts into the runner's
 /// output directory.
 pub fn emit(runner: &Runner, name: &str, table: &Table) {
-    let text = table.to_text();
+    emit_partial(runner, name, table, &[]);
+}
+
+/// [`emit`], with the artefact marked as partial: each dropped point in
+/// `dropped` is named in a `# dropped: <label>` footer line of both
+/// files, so a consumer of a `--keep-going` run can tell a complete
+/// artefact from a degraded one without diffing against the full grid.
+pub fn emit_partial(runner: &Runner, name: &str, table: &Table, dropped: &[String]) {
+    let footer: String = dropped
+        .iter()
+        .map(|label| format!("# dropped: {label}\n"))
+        .collect();
+    let mut text = table.to_text();
+    if !footer.is_empty() {
+        text.push('\n');
+        text.push_str(&footer);
+    }
     println!("{text}");
     if let Err(e) = std::fs::create_dir_all(&runner.out_dir) {
         eprintln!("warning: cannot create {}: {e}", runner.out_dir.display());
@@ -290,10 +506,12 @@ pub fn emit(runner: &Runner, name: &str, table: &Table) {
     }
     let txt_path = runner.out_dir.join(format!("{name}.txt"));
     let csv_path = runner.out_dir.join(format!("{name}.csv"));
+    let mut csv = table.to_csv();
+    csv.push_str(&footer);
     if let Err(e) = std::fs::write(&txt_path, &text) {
         eprintln!("warning: cannot write {}: {e}", txt_path.display());
     }
-    if let Err(e) = std::fs::write(&csv_path, table.to_csv()) {
+    if let Err(e) = std::fs::write(&csv_path, csv) {
         eprintln!("warning: cannot write {}: {e}", csv_path.display());
     }
     println!("[wrote {} and {}]", txt_path.display(), csv_path.display());
@@ -309,6 +527,8 @@ mod tests {
             jobs: 4,
             out_dir: std::env::temp_dir().join("ptb-figtest"),
             farm: None,
+            keep_going: false,
+            job_timeout: None,
         }
     }
 
@@ -381,6 +601,74 @@ mod tests {
             Err(Some(w)) => assert!(w.contains("many"), "{w}"),
             other => panic!("expected warning, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn sweep_matches_run_all_when_healthy() {
+        let r = test_runner();
+        let jobs = vec![
+            Job::new(Benchmark::Fft, MechanismKind::None, 2),
+            Job::new(Benchmark::Radix, MechanismKind::None, 2),
+        ];
+        let all = r.run_all(&jobs);
+        let swept = r.sweep(&jobs);
+        assert!(swept.complete());
+        let swept = swept.expect_complete();
+        for (a, b) in all.iter().zip(&swept) {
+            assert_eq!(a.cycles, b.cycles);
+            assert_eq!(a.energy_tokens, b.energy_tokens);
+        }
+    }
+
+    #[test]
+    fn farmed_sweep_quarantines_and_keeps_going() {
+        let (mut r, dir) = farmed_runner("sweep-quarantine");
+        r.keep_going = true;
+        // A livelock-bound synthetic cannot be built from the figure
+        // grid (all benchmarks terminate), so exercise the quarantine
+        // path through the farm layer directly with a poisoned config:
+        // zero max_cycles makes the simulation error deterministically.
+        let farm = r.farm.as_ref().unwrap();
+        let bad = FarmJob::new(
+            Benchmark::Fft,
+            SimConfig {
+                n_cores: 2,
+                scale: Scale::Test,
+                max_cycles: 1,
+                ..SimConfig::default()
+            },
+        );
+        let good = FarmJob::new(
+            Benchmark::Radix,
+            SimConfig {
+                n_cores: 2,
+                scale: Scale::Test,
+                ..SimConfig::default()
+            },
+        );
+        let outcomes = farm.try_run_batch(&[bad.clone(), good.clone()], &ExecConfig::new(2));
+        assert!(outcomes[0].is_err(), "truncated run must fail");
+        assert!(outcomes[1].is_ok(), "healthy job unaffected");
+        let (job, err) = (&bad, outcomes[0].as_ref().unwrap_err());
+        farm.quarantine_job(job, err).unwrap();
+        let q = farm.quarantine();
+        let entries = q.load().unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].job.config.max_cycles, 1, "replayable config");
+        assert_eq!(farm.stats().quarantined, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn emit_partial_footers_name_dropped_points() {
+        let r = test_runner();
+        let mut t = Table::new("t", &["a"]);
+        t.row(vec!["1".into()]);
+        emit_partial(&r, "unit_test_partial", &t, &["fft/ptb/8c".into()]);
+        let csv = std::fs::read_to_string(r.out_dir.join("unit_test_partial.csv")).unwrap();
+        assert!(csv.ends_with("# dropped: fft/ptb/8c\n"), "{csv}");
+        let txt = std::fs::read_to_string(r.out_dir.join("unit_test_partial.txt")).unwrap();
+        assert!(txt.contains("# dropped: fft/ptb/8c"), "{txt}");
     }
 
     #[test]

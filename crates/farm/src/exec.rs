@@ -1,4 +1,4 @@
-//! Work-stealing parallel executor for farm jobs.
+//! Panic-isolated, retrying work-stealing executor for farm jobs.
 //!
 //! Simulation times vary wildly across the sweep grid (a 16-core
 //! PTB+2-level point costs ~10× a 2-core baseline), so a static
@@ -9,34 +9,141 @@
 //! threads and mutexed deques (the vendored crossbeam exposes scoped
 //! threads only; contention is irrelevant here because each task is a
 //! whole cycle-level simulation).
+//!
+//! ## Failure containment
+//!
+//! Each job runs inside `catch_unwind`: one poisoned simulation returns
+//! [`JobError::Panicked`] in its own slot and every other job still
+//! completes — the pre-chaos executor aborted the whole batch instead.
+//! Jobs that *return* a transient fault (injected ENOSPC, a momentarily
+//! full disk) are retried with exponential backoff under a bounded
+//! [`RetryPolicy`]; fatal faults and panics are never retried. A
+//! [`JobCtx`] hands every attempt its wall-clock deadline so the job
+//! can cut itself off (`Simulation::with_deadline`) instead of hanging
+//! the sweep.
 
+use crate::error::JobError;
 use parking_lot::Mutex;
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::{Duration, Instant};
 
-/// Run `f` over `items` on `workers` work-stealing threads and return
-/// the results **in input order**. Panics in `f` propagate (aborting
-/// the batch), matching the previous fail-fast runner behaviour.
-pub fn run_work_stealing<T, R, F>(items: Vec<T>, workers: usize, f: F) -> Vec<R>
+/// Bounded retry with exponential backoff for transient faults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per job (1 = no retry).
+    pub max_attempts: u32,
+    /// Backoff before the 2nd attempt; doubles per further attempt.
+    pub base_backoff: Duration,
+    /// Ceiling on a single backoff sleep.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff: Duration::from_millis(25),
+            max_backoff: Duration::from_secs(1),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// No retries at all.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            base_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+        }
+    }
+
+    /// Backoff before attempt `attempt` (2-based): exponential, capped.
+    fn backoff(&self, attempt: u32) -> Duration {
+        let shift = attempt.saturating_sub(2).min(16);
+        self.base_backoff
+            .saturating_mul(1 << shift)
+            .min(self.max_backoff)
+    }
+}
+
+/// Executor configuration for one batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecConfig {
+    /// Work-stealing worker threads.
+    pub workers: usize,
+    /// Retry policy for transient job faults.
+    pub retry: RetryPolicy,
+    /// Per-job wall-clock watchdog: each attempt receives
+    /// `now + watchdog` as its [`JobCtx::deadline`]. The job itself
+    /// honours it (cooperatively); `None` disables.
+    pub watchdog: Option<Duration>,
+}
+
+impl ExecConfig {
+    /// `workers` threads, default retry, no watchdog.
+    pub fn new(workers: usize) -> Self {
+        ExecConfig {
+            workers,
+            retry: RetryPolicy::default(),
+            watchdog: None,
+        }
+    }
+}
+
+/// Per-attempt context handed to the job closure.
+#[derive(Debug, Clone, Copy)]
+pub struct JobCtx {
+    /// 1-based attempt number (> 1 on retries of transient faults).
+    pub attempt: u32,
+    /// Wall-clock deadline for this attempt, when a watchdog is set.
+    pub deadline: Option<Instant>,
+}
+
+/// A failure returned (not thrown) by one job attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobFault {
+    /// Plausibly clears on retry (I/O pressure); retried under the
+    /// [`RetryPolicy`].
+    Transient(String),
+    /// Deterministic failure; retrying would fail identically.
+    Fatal(String),
+    /// The attempt gave up at its [`JobCtx::deadline`]; not retried
+    /// (the job is as slow the second time).
+    Timeout(String),
+}
+
+/// Run `f` over `items` on work-stealing threads and return one
+/// `Result` per item, **in input order**.
+///
+/// Each attempt of each job runs inside `catch_unwind`, so a panicking
+/// job yields `Err(JobError::Panicked)` in its slot while every other
+/// job completes normally. `Err(JobFault::Transient)` results are
+/// retried with exponential backoff up to the policy's attempt budget;
+/// fatal faults, timeouts and panics are final on first occurrence.
+pub fn run_work_stealing<T, R, F>(items: Vec<T>, cfg: &ExecConfig, f: F) -> Vec<Result<R, JobError>>
 where
-    T: Send,
+    T: Sync,
     R: Send,
-    F: Fn(T) -> R + Sync,
+    F: Fn(&T, &JobCtx) -> Result<R, JobFault> + Sync,
 {
     let n = items.len();
     if n == 0 {
         return Vec::new();
     }
-    let workers = workers.clamp(1, n);
+    let workers = cfg.workers.clamp(1, n);
     if workers == 1 {
-        return items.into_iter().map(f).collect();
+        return items.iter().map(|item| run_job(item, cfg, &f)).collect();
     }
 
-    let deques: Vec<Mutex<VecDeque<(usize, T)>>> =
+    let deques: Vec<Mutex<VecDeque<(usize, &T)>>> =
         (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
-    for (i, item) in items.into_iter().enumerate() {
+    for (i, item) in items.iter().enumerate() {
         deques[i % workers].lock().push_back((i, item));
     }
-    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let results: Vec<Mutex<Option<Result<R, JobError>>>> =
+        (0..n).map(|_| Mutex::new(None)).collect();
 
     crossbeam::scope(|s| {
         for me in 0..workers {
@@ -44,13 +151,19 @@ where
             let results = &results;
             let f = &f;
             s.spawn(move |_| loop {
-                let task = deques[me].lock().pop_front().or_else(|| steal(deques, me));
+                // Release the own-deque guard before stealing: holding
+                // it while locking a victim would deadlock two thieves
+                // eyeing each other's (empty) deques.
+                let mut task = deques[me].lock().pop_front();
+                if task.is_none() {
+                    task = steal(deques, me);
+                }
                 let Some((idx, item)) = task else { break };
-                *results[idx].lock() = Some(f(item));
+                *results[idx].lock() = Some(run_job(item, cfg, f));
             });
         }
     })
-    .expect("farm worker panicked");
+    .expect("farm executor thread panicked outside catch_unwind");
 
     results
         .into_iter()
@@ -58,8 +171,61 @@ where
         .collect()
 }
 
+/// One job: catch panics, retry transient faults with backoff.
+fn run_job<T, R, F>(item: &T, cfg: &ExecConfig, f: &F) -> Result<R, JobError>
+where
+    F: Fn(&T, &JobCtx) -> Result<R, JobFault>,
+{
+    let mut attempt = 0u32;
+    loop {
+        attempt += 1;
+        let ctx = JobCtx {
+            attempt,
+            deadline: cfg.watchdog.map(|d| Instant::now() + d),
+        };
+        match catch_unwind(AssertUnwindSafe(|| f(item, &ctx))) {
+            Ok(Ok(r)) => return Ok(r),
+            Ok(Err(JobFault::Transient(message))) => {
+                if attempt >= cfg.retry.max_attempts {
+                    return Err(JobError::Failed {
+                        message,
+                        attempts: attempt,
+                    });
+                }
+                let backoff = cfg.retry.backoff(attempt + 1);
+                if !backoff.is_zero() {
+                    std::thread::sleep(backoff);
+                }
+            }
+            Ok(Err(JobFault::Fatal(message))) => {
+                return Err(JobError::Failed {
+                    message,
+                    attempts: attempt,
+                })
+            }
+            Ok(Err(JobFault::Timeout(message))) => return Err(JobError::TimedOut { message }),
+            Err(payload) => {
+                return Err(JobError::Panicked {
+                    message: panic_message(payload.as_ref()),
+                })
+            }
+        }
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
 /// Steal one task from the back of the currently fullest victim deque.
-fn steal<T>(deques: &[Mutex<VecDeque<(usize, T)>>], me: usize) -> Option<(usize, T)> {
+fn steal<'a, T>(deques: &[Mutex<VecDeque<(usize, &'a T)>>], me: usize) -> Option<(usize, &'a T)> {
     let victim = deques
         .iter()
         .enumerate()
@@ -74,19 +240,35 @@ mod tests {
     use super::*;
     use std::sync::atomic::{AtomicUsize, Ordering};
 
+    fn cfg(workers: usize) -> ExecConfig {
+        ExecConfig {
+            workers,
+            retry: RetryPolicy {
+                base_backoff: Duration::ZERO,
+                max_backoff: Duration::ZERO,
+                ..RetryPolicy::default()
+            },
+            watchdog: None,
+        }
+    }
+
+    fn unwrap_all<R: std::fmt::Debug>(res: Vec<Result<R, JobError>>) -> Vec<R> {
+        res.into_iter().map(|r| r.unwrap()).collect()
+    }
+
     #[test]
     fn results_come_back_in_input_order() {
         let items: Vec<usize> = (0..100).collect();
-        let out = run_work_stealing(items, 4, |x| x * 2);
+        let out = unwrap_all(run_work_stealing(items, &cfg(4), |x, _| Ok(x * 2)));
         assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
     }
 
     #[test]
     fn every_task_runs_exactly_once() {
         let ran = AtomicUsize::new(0);
-        let out = run_work_stealing((0..257).collect(), 8, |x: usize| {
+        let out = run_work_stealing((0..257).collect(), &cfg(8), |x: &usize, _| {
             ran.fetch_add(1, Ordering::Relaxed);
-            x
+            Ok(*x)
         });
         assert_eq!(out.len(), 257);
         assert_eq!(ran.load(Ordering::Relaxed), 257);
@@ -96,18 +278,122 @@ mod tests {
     fn uneven_task_costs_still_complete() {
         // Front-load one long task per deque so stealing must happen
         // for the run to finish quickly; correctness is what we assert.
-        let out = run_work_stealing((0..32).collect(), 4, |x: usize| {
-            if x < 4 {
-                std::thread::sleep(std::time::Duration::from_millis(20));
-            }
-            x + 1
-        });
+        let out = unwrap_all(run_work_stealing(
+            (0..32).collect(),
+            &cfg(4),
+            |x: &usize, _| {
+                if *x < 4 {
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                }
+                Ok(x + 1)
+            },
+        ));
         assert_eq!(out, (1..=32).collect::<Vec<_>>());
     }
 
     #[test]
     fn single_worker_and_empty_input() {
-        assert_eq!(run_work_stealing(vec![1, 2, 3], 1, |x| x), vec![1, 2, 3]);
-        assert!(run_work_stealing(Vec::<u8>::new(), 4, |x| x).is_empty());
+        assert_eq!(
+            unwrap_all(run_work_stealing(vec![1, 2, 3], &cfg(1), |x, _| Ok(*x))),
+            vec![1, 2, 3]
+        );
+        assert!(
+            run_work_stealing(Vec::<u8>::new(), &cfg(4), |x, _| Ok::<_, JobFault>(*x)).is_empty()
+        );
+    }
+
+    #[test]
+    fn one_panicking_job_out_of_32_leaves_31_results() {
+        let out = run_work_stealing((0..32).collect(), &cfg(4), |x: &usize, _| {
+            if *x == 13 {
+                panic!("poisoned simulation #{x}");
+            }
+            Ok(*x * 10)
+        });
+        assert_eq!(out.len(), 32);
+        let (ok, err): (Vec<_>, Vec<_>) = out.iter().partition(|r| r.is_ok());
+        assert_eq!(ok.len(), 31, "all healthy jobs completed");
+        assert_eq!(err.len(), 1, "exactly the poisoned job failed");
+        match &out[13] {
+            Err(JobError::Panicked { message }) => {
+                assert!(message.contains("poisoned simulation #13"), "{message}");
+            }
+            other => panic!("slot 13 should be Panicked, got {other:?}"),
+        }
+        assert_eq!(out[12], Ok(120));
+        assert_eq!(out[14], Ok(140));
+    }
+
+    #[test]
+    fn transient_faults_are_retried_with_bounded_attempts() {
+        let calls = AtomicUsize::new(0);
+        let out = run_work_stealing(vec![0usize], &cfg(1), |_, ctx| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            if ctx.attempt < 3 {
+                Err(JobFault::Transient("injected ENOSPC".into()))
+            } else {
+                Ok(ctx.attempt)
+            }
+        });
+        assert_eq!(out[0], Ok(3), "third attempt succeeds");
+        assert_eq!(calls.load(Ordering::Relaxed), 3);
+
+        // A fault that never clears exhausts the attempt budget.
+        let out = run_work_stealing(vec![0usize], &cfg(1), |_, _| {
+            Err::<(), _>(JobFault::Transient("still full".into()))
+        });
+        assert_eq!(
+            out[0],
+            Err(JobError::Failed {
+                message: "still full".into(),
+                attempts: 3
+            })
+        );
+    }
+
+    #[test]
+    fn fatal_faults_and_timeouts_are_not_retried() {
+        let calls = AtomicUsize::new(0);
+        let out = run_work_stealing(vec![0usize], &cfg(1), |_, _| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            Err::<(), _>(JobFault::Fatal("bad workload".into()))
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 1, "fatal: single attempt");
+        assert!(matches!(&out[0], Err(JobError::Failed { attempts: 1, .. })));
+
+        let out = run_work_stealing(vec![0usize], &cfg(1), |_, _| {
+            Err::<(), _>(JobFault::Timeout("too slow".into()))
+        });
+        assert_eq!(
+            out[0],
+            Err(JobError::TimedOut {
+                message: "too slow".into()
+            })
+        );
+    }
+
+    #[test]
+    fn watchdog_deadline_reaches_the_job() {
+        let e = ExecConfig {
+            watchdog: Some(Duration::from_secs(3600)),
+            ..cfg(1)
+        };
+        let out = run_work_stealing(vec![0usize], &e, |_, ctx| {
+            let dl = ctx.deadline.expect("deadline set");
+            Ok(dl > Instant::now())
+        });
+        assert_eq!(out[0], Ok(true));
+    }
+
+    #[test]
+    fn backoff_is_exponential_and_capped() {
+        let p = RetryPolicy {
+            max_attempts: 10,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(35),
+        };
+        assert_eq!(p.backoff(2), Duration::from_millis(10));
+        assert_eq!(p.backoff(3), Duration::from_millis(20));
+        assert_eq!(p.backoff(4), Duration::from_millis(35), "capped");
     }
 }

@@ -12,36 +12,56 @@
 //! worker threads (behind a mutex) and sequential figure binaries
 //! interleave at line granularity; a line truncated by a crash is
 //! skipped by the loader rather than aborting recovery.
+//!
+//! Appends flow through a [`FarmIo`] handle so the chaos suite can tear
+//! lines and drop flushes; recovery must stay *idempotent* under torn
+//! tails — replaying the same journal twice yields the same pending
+//! set, and a torn record degrades to re-running its job, never to a
+//! wrong result.
 
+use crate::error::FarmError;
+use crate::io::{FarmIo, RealIo};
 use crate::FarmJob;
 use parking_lot::Mutex;
 use serde::{json, Deserialize, Map, Serialize, Value};
 use std::collections::HashMap;
-use std::io::{self, Write};
-use std::path::Path;
+use std::io::ErrorKind;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Handle for appending to a journal file.
 pub struct Journal {
     file: Mutex<std::fs::File>,
+    path: PathBuf,
+    io: Arc<dyn FarmIo>,
 }
 
 impl Journal {
-    /// Open `path` for appending, creating it if absent.
-    pub fn open(path: impl AsRef<Path>) -> io::Result<Journal> {
-        if let Some(parent) = path.as_ref().parent() {
-            std::fs::create_dir_all(parent)?;
+    /// Open `path` for appending on the real filesystem.
+    pub fn open(path: impl AsRef<Path>) -> Result<Journal, FarmError> {
+        Self::open_with(path, Arc::new(RealIo))
+    }
+
+    /// Open `path` for appending, creating it if absent, with all
+    /// filesystem operations routed through `io`.
+    pub fn open_with(path: impl AsRef<Path>, io: Arc<dyn FarmIo>) -> Result<Journal, FarmError> {
+        let path = path.as_ref().to_path_buf();
+        if let Some(parent) = path.parent() {
+            io.create_dir_all(parent)
+                .map_err(|e| FarmError::io("create journal dir", parent, e))?;
         }
-        let file = std::fs::OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(path)?;
+        let file = io
+            .open_append(&path)
+            .map_err(|e| FarmError::io("open journal", &path, e))?;
         Ok(Journal {
             file: Mutex::new(file),
+            path,
+            io,
         })
     }
 
     /// Record that `job` (under `key`) has been scheduled.
-    pub fn submit(&self, key: &str, job: &FarmJob) -> io::Result<()> {
+    pub fn submit(&self, key: &str, job: &FarmJob) -> Result<(), FarmError> {
         let mut m = Map::new();
         m.insert("submit".into(), Value::Str(key.to_owned()));
         m.insert("job".into(), job.to_value());
@@ -49,32 +69,44 @@ impl Journal {
     }
 
     /// Record that the job under `key` has completed and been stored.
-    pub fn done(&self, key: &str) -> io::Result<()> {
+    pub fn done(&self, key: &str) -> Result<(), FarmError> {
         let mut m = Map::new();
         m.insert("done".into(), Value::Str(key.to_owned()));
         self.append(&Value::Object(m))
     }
 
-    fn append(&self, v: &Value) -> io::Result<()> {
+    fn append(&self, v: &Value) -> Result<(), FarmError> {
         let mut line = json::to_string(v);
         line.push('\n');
         let mut file = self.file.lock();
-        file.write_all(line.as_bytes())?;
-        file.flush()
+        self.io
+            .append_line(&mut file, &line, &self.path)
+            .map_err(|e| FarmError::io("append journal", &self.path, e))
     }
 
-    /// Read the journal at `path` and return the jobs submitted but not
-    /// done, in submission order.
+    /// Read the journal at `path` (real filesystem) and return the jobs
+    /// submitted but not done, in submission order.
+    pub fn load_pending(path: impl AsRef<Path>) -> Result<Vec<(String, FarmJob)>, FarmError> {
+        Self::load_pending_with(path, &RealIo)
+    }
+
+    /// [`Journal::load_pending`] through an explicit [`FarmIo`].
     ///
     /// The journal is replayed sequentially: a `submit` opens a job, a
     /// later `done` closes it, and a submit *after* a done re-opens it
     /// (the key was rescheduled). A missing file means an empty pending
-    /// set; unparsable (e.g. crash-truncated) lines are skipped.
-    pub fn load_pending(path: impl AsRef<Path>) -> io::Result<Vec<(String, FarmJob)>> {
-        let text = match std::fs::read_to_string(path) {
+    /// set; unparsable (e.g. crash-truncated or chaos-torn) lines are
+    /// skipped. Replay is idempotent: loading the same bytes twice
+    /// always yields the same pending set.
+    pub fn load_pending_with(
+        path: impl AsRef<Path>,
+        io: &dyn FarmIo,
+    ) -> Result<Vec<(String, FarmJob)>, FarmError> {
+        let path = path.as_ref();
+        let text = match io.read_to_string(path) {
             Ok(t) => t,
-            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
-            Err(e) => return Err(e),
+            Err(e) if e.kind() == ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(FarmError::io("read journal", path, e)),
         };
         let mut order: Vec<String> = Vec::new();
         let mut open: HashMap<String, FarmJob> = HashMap::new();
@@ -109,17 +141,20 @@ impl Journal {
 
     /// Reset the journal at `path` to empty (used once recovery
     /// information is no longer live).
-    pub fn truncate(path: impl AsRef<Path>) -> io::Result<()> {
-        if let Some(parent) = path.as_ref().parent() {
-            std::fs::create_dir_all(parent)?;
+    pub fn truncate(path: impl AsRef<Path>) -> Result<(), FarmError> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| FarmError::io("create journal dir", parent, e))?;
         }
-        std::fs::write(path, b"")
+        std::fs::write(path, b"").map_err(|e| FarmError::io("truncate journal", path, e))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::io::{ChaosConfig, ChaosIo};
     use ptb_core::SimConfig;
     use ptb_workloads::{Benchmark, Scale};
 
@@ -179,5 +214,31 @@ mod tests {
     fn missing_file_means_empty() {
         let pending = Journal::load_pending(tmp("nonexistent-never-created")).unwrap();
         assert!(pending.is_empty());
+    }
+
+    #[test]
+    fn chaos_torn_appends_degrade_to_skipped_lines() {
+        let path = tmp("chaos-torn");
+        let io = Arc::new(ChaosIo::new(ChaosConfig {
+            torn_append: 1.0,
+            ..ChaosConfig::uniform(11, 0.0)
+        }));
+        let j = Journal::open_with(&path, io.clone()).unwrap();
+        let a = job(Benchmark::Fft);
+        let err = j.submit(&a.key(), &a).unwrap_err();
+        assert!(err.transient(), "torn append is a transient fault: {err}");
+        assert_eq!(
+            io.stats()
+                .torn_appends
+                .load(std::sync::atomic::Ordering::Relaxed),
+            1
+        );
+        // The torn prefix must not surface as a phantom pending job, and
+        // replay must be idempotent.
+        let once = Journal::load_pending(&path).unwrap();
+        let twice = Journal::load_pending(&path).unwrap();
+        assert!(once.is_empty());
+        assert_eq!(once.len(), twice.len());
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -20,8 +20,24 @@
 //!   parallel on a work-stealing executor, and records completions as
 //!   they land.
 //! * [`FarmStats`] — per-job outcome counters (hits / misses / deduped /
-//!   corrupt / resumed …), exported as a [`ptb_obs::CounterRegistry`]
-//!   under the `farm.*` namespace.
+//!   corrupt / retried / quarantined …), exported as a
+//!   [`ptb_obs::CounterRegistry`] under the `farm.*` namespace.
+//!
+//! ## Failure containment
+//!
+//! The farm assumes both the filesystem and the simulations can fail:
+//!
+//! * Every store/journal byte flows through a [`FarmIo`] handle;
+//!   [`ChaosIo`] injects seeded, replayable faults (ENOSPC, partial
+//!   writes, read corruption, torn journal lines, dropped flushes) so
+//!   the degradation paths are tested, not hoped for.
+//! * [`Farm::try_run_batch`] isolates each job behind `catch_unwind`
+//!   and returns one `Result` per job — a poisoned simulation is
+//!   reported as a [`JobError`] in its own slot instead of killing the
+//!   batch. Transient I/O faults are retried with exponential backoff;
+//!   failures can be quarantined to a replayable `failed.jsonl`
+//!   manifest ([`Quarantine`]) for later `farm_ctl resume` /
+//!   `sim_check --replay`.
 //!
 //! ## Integrity
 //!
@@ -58,22 +74,32 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod error;
 pub mod exec;
 pub mod hash;
+pub mod io;
 pub mod journal;
+pub mod quarantine;
 pub mod stats;
 pub mod store;
 
+pub use error::{FarmError, JobError};
+pub use exec::{ExecConfig, JobCtx, JobFault, RetryPolicy};
+pub use io::{ChaosConfig, ChaosIo, FarmIo, RealIo};
 pub use journal::Journal;
+pub use quarantine::{Quarantine, QuarantineEntry, QUARANTINE_FILE};
 pub use stats::{FarmSnapshot, FarmStats};
 pub use store::{ResultStore, StoreLookup, STORE_FORMAT};
 
+use ptb_core::sim::SimError;
 use ptb_core::{RunReport, SimConfig, Simulation};
+use ptb_obs::CounterRegistry;
 use ptb_workloads::Benchmark;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
-use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
 
 /// One unit of farm work: a benchmark under a full simulation config.
 ///
@@ -115,13 +141,43 @@ impl FarmJob {
         )
     }
 
-    /// Run the simulation for this job (a cache miss).
+    /// Run the simulation for this job, classifying failures.
+    ///
+    /// When `deadline` is set it is handed to the simulator as a
+    /// wall-clock watchdog (checked every few thousand cycles); hitting
+    /// it — or the in-config livelock budget — comes back as a typed
+    /// [`JobFault`] instead of a hang or a panic. Timeouts map to
+    /// [`JobFault::Timeout`], every other simulation error to
+    /// [`JobFault::Fatal`] (deterministic sims fail identically on
+    /// retry).
+    pub fn try_simulate(&self, deadline: Option<Instant>) -> Result<RunReport, JobFault> {
+        let mut sim = Simulation::new(self.config.clone());
+        if let Some(dl) = deadline {
+            sim = sim.with_deadline(dl);
+        }
+        sim.run(self.bench).map_err(|e| {
+            let msg = format!("{}: {e}", self.label());
+            match e {
+                SimError::DeadlineExceeded { .. } => JobFault::Timeout(msg),
+                _ => JobFault::Fatal(msg),
+            }
+        })
+    }
+
+    /// Run the simulation for this job, panicking on failure (the
+    /// fail-fast path used by [`Farm::run_batch`]).
     pub fn simulate(&self) -> RunReport {
-        Simulation::new(self.config.clone())
-            .run(self.bench)
-            .unwrap_or_else(|e| panic!("{} failed: {e}", self.label()))
+        self.try_simulate(None).unwrap_or_else(|f| match f {
+            JobFault::Transient(m) | JobFault::Fatal(m) | JobFault::Timeout(m) => {
+                panic!("{m}")
+            }
+        })
     }
 }
+
+/// Per-key outcomes of a resume pass: one `(key, result)` pair per job
+/// actually re-run.
+pub type ResumeOutcomes = Vec<(String, Result<RunReport, JobError>)>;
 
 /// The experiment farm: a [`ResultStore`] plus a [`Journal`] plus the
 /// scheduling logic that ties them together.
@@ -130,27 +186,35 @@ pub struct Farm {
     store: ResultStore,
     journal: Journal,
     stats: FarmStats,
+    io: Arc<dyn FarmIo>,
 }
 
 impl Farm {
-    /// Open (or create) a farm rooted at `dir`.
+    /// Open (or create) a farm rooted at `dir` on the real filesystem.
     ///
     /// If the journal shows no unfinished work left over from a previous
     /// process, it is compacted to zero length on open, so the journal
     /// only ever grows while crash-recovery information is live.
-    pub fn open(dir: impl AsRef<Path>) -> io::Result<Farm> {
+    pub fn open(dir: impl AsRef<Path>) -> Result<Farm, FarmError> {
+        Self::open_with_io(dir, Arc::new(RealIo))
+    }
+
+    /// [`Farm::open`] with every store/journal filesystem operation
+    /// routed through `io` (pass a [`ChaosIo`] to fault-inject).
+    pub fn open_with_io(dir: impl AsRef<Path>, io: Arc<dyn FarmIo>) -> Result<Farm, FarmError> {
         let dir = dir.as_ref().to_path_buf();
-        let store = ResultStore::open(dir.join("objects"))?;
+        let store = ResultStore::open_with(dir.join("objects"), io.clone())?;
         let journal_path = dir.join("journal.jsonl");
-        if Journal::load_pending(&journal_path)?.is_empty() {
+        if Journal::load_pending_with(&journal_path, io.as_ref())?.is_empty() {
             Journal::truncate(&journal_path)?;
         }
-        let journal = Journal::open(&journal_path)?;
+        let journal = Journal::open_with(&journal_path, io.clone())?;
         Ok(Farm {
             dir,
             store,
             journal,
             stats: FarmStats::default(),
+            io,
         })
     }
 
@@ -159,7 +223,10 @@ impl Farm {
     ///
     /// * `PTB_NO_CACHE` set (to anything but `0`) — disabled, returns
     ///   `None`;
-    /// * `PTB_FARM_DIR` — store location (default `target/farm`).
+    /// * `PTB_FARM_DIR` — store location (default `target/farm`);
+    /// * `PTB_CHAOS` — fault-injection rate in `[0, 1]`; non-zero wraps
+    ///   the filesystem in a [`ChaosIo`] (testing only);
+    /// * `PTB_CHAOS_SEED` — seed for the injected faults (default 0).
     ///
     /// I/O errors opening the store degrade to uncached operation with a
     /// warning instead of failing the run.
@@ -172,7 +239,21 @@ impl Farm {
         let dir = std::env::var("PTB_FARM_DIR")
             .map(PathBuf::from)
             .unwrap_or_else(|_| PathBuf::from("target/farm"));
-        match Farm::open(&dir) {
+        let chaos_rate = std::env::var("PTB_CHAOS")
+            .ok()
+            .and_then(|v| v.parse::<f64>().ok())
+            .unwrap_or(0.0);
+        let io: Arc<dyn FarmIo> = if chaos_rate > 0.0 {
+            let seed = std::env::var("PTB_CHAOS_SEED")
+                .ok()
+                .and_then(|v| v.parse::<u64>().ok())
+                .unwrap_or(0);
+            eprintln!("[farm] CHAOS MODE: fault rate {chaos_rate}, seed {seed}");
+            Arc::new(ChaosIo::new(ChaosConfig::uniform(seed, chaos_rate)))
+        } else {
+            Arc::new(RealIo)
+        };
+        match Farm::open_with_io(&dir, io) {
             Ok(farm) => Some(farm),
             Err(e) => {
                 eprintln!(
@@ -194,39 +275,62 @@ impl Farm {
         &self.store
     }
 
+    /// The quarantine manifest of this farm (`<dir>/failed.jsonl`).
+    pub fn quarantine(&self) -> Quarantine {
+        Quarantine::in_dir(&self.dir)
+    }
+
     /// Snapshot of the outcome counters accumulated by this handle.
     pub fn stats(&self) -> FarmSnapshot {
         self.stats.snapshot()
     }
 
+    /// All counters of this farm as a `ptb-obs` registry: the
+    /// `farm.*` outcome counters plus, when fault injection is active,
+    /// the `farm.chaos.*` injected-fault counters.
+    pub fn counters(&self) -> CounterRegistry {
+        let mut c = self.stats.snapshot().counters();
+        for (name, value) in self.io.counters() {
+            c.set(name, value as f64);
+        }
+        c
+    }
+
     /// Jobs recorded as scheduled but never completed — the unfinished
     /// remainder a crashed or interrupted process left behind.
-    pub fn pending(&self) -> io::Result<Vec<(String, FarmJob)>> {
-        Journal::load_pending(self.dir.join("journal.jsonl"))
+    pub fn pending(&self) -> Result<Vec<(String, FarmJob)>, FarmError> {
+        Journal::load_pending_with(self.dir.join("journal.jsonl"), self.io.as_ref())
     }
 
     /// Record `jobs` in the journal as scheduled without running them.
     ///
     /// `run_batch` does this automatically for every miss; the method is
     /// public so tests and tools can reconstruct an interrupted sweep.
-    pub fn record_pending(&self, jobs: &[FarmJob]) -> io::Result<()> {
+    pub fn record_pending(&self, jobs: &[FarmJob]) -> Result<(), FarmError> {
         for job in jobs {
             self.journal.submit(&job.key(), job)?;
         }
         Ok(())
     }
 
-    /// Run a batch of jobs and return their reports in batch order.
+    /// Run a batch of jobs and return one `Result` per job, in batch
+    /// order — the failure-isolating path.
     ///
     /// Identical jobs (same content key) are deduplicated and simulated
-    /// at most once; keys present in the store are served from it after
-    /// an integrity check; the remaining misses are journalled and run
-    /// across `workers` work-stealing threads, with each completion
-    /// persisted to the store and journalled as done the moment it lands
-    /// — so an interrupt at any point loses at most the in-flight
-    /// simulations.
-    pub fn run_batch(&self, jobs: &[FarmJob], workers: usize) -> Vec<RunReport> {
-        let mut results: Vec<Option<RunReport>> = vec![None; jobs.len()];
+    /// at most once (duplicates share the first occurrence's outcome,
+    /// success or failure); keys present in the store are served from it
+    /// after an integrity check; the remaining misses are journalled and
+    /// run across the executor's work-stealing threads with each
+    /// completion persisted the moment it lands. Each job runs inside
+    /// `catch_unwind` under `exec`'s retry policy and watchdog: a panic,
+    /// a simulation error, or a persistent transient fault yields a
+    /// [`JobError`] in that job's slot while every other job completes.
+    pub fn try_run_batch(
+        &self,
+        jobs: &[FarmJob],
+        exec: &ExecConfig,
+    ) -> Vec<Result<RunReport, JobError>> {
+        let mut results: Vec<Option<Result<RunReport, JobError>>> = vec![None; jobs.len()];
         // Batch-order indices of the first job carrying each key; later
         // occurrences are duplicates satisfied by copying.
         let mut first_of: HashMap<String, usize> = HashMap::new();
@@ -243,7 +347,7 @@ impl Farm {
             match self.lookup(&key, job) {
                 Some(report) => {
                     self.stats.hits.incr();
-                    results[idx] = Some(report);
+                    results[idx] = Some(Ok(report));
                 }
                 None => {
                     self.stats.misses.incr();
@@ -260,13 +364,19 @@ impl Farm {
             }
         }
 
-        let done = exec::run_work_stealing(misses, workers, |(idx, key)| {
-            let report = jobs[idx].simulate();
-            self.complete(&key, &jobs[idx], &report);
-            (idx, report)
+        let miss_idx: Vec<usize> = misses.iter().map(|(idx, _)| *idx).collect();
+        let done = exec::run_work_stealing(misses, exec, |(idx, key), ctx| {
+            if ctx.attempt > 1 {
+                self.stats.retried.incr();
+            }
+            let report = jobs[*idx].try_simulate(ctx.deadline)?;
+            self.complete(key, &jobs[*idx], &report)?;
+            Ok(report)
         });
-        for (idx, report) in done {
-            results[idx] = Some(report);
+        // The executor returns slots in input order, so zip against the
+        // recorded miss indices to place successes and failures alike.
+        for (idx, outcome) in miss_idx.into_iter().zip(done) {
+            results[idx] = Some(outcome);
         }
         for (idx, first) in dups {
             results[idx] = results[first].clone();
@@ -277,13 +387,32 @@ impl Farm {
             .collect()
     }
 
-    /// Run exactly the unfinished remainder recorded in the journal.
+    /// Run a batch of jobs and return their reports in batch order,
+    /// panicking on the first failed job — the fail-fast path.
     ///
-    /// Pending entries whose result is already in the store (completed
-    /// by another process, or stored just before a crash cut off the
-    /// `done` record) are acknowledged without re-running. Returns the
-    /// `(key, report)` pairs that were actually simulated.
-    pub fn resume(&self, workers: usize) -> io::Result<Vec<(String, RunReport)>> {
+    /// See [`Farm::try_run_batch`] for the failure-isolating variant.
+    pub fn run_batch(&self, jobs: &[FarmJob], workers: usize) -> Vec<RunReport> {
+        let exec = ExecConfig::new(workers);
+        self.try_run_batch(jobs, &exec)
+            .into_iter()
+            .zip(jobs)
+            .map(|(r, job)| r.unwrap_or_else(|e| panic!("{} failed: {e}", job.label())))
+            .collect()
+    }
+
+    /// Append `job`'s failure to the quarantine manifest so it can be
+    /// replayed later (`farm_ctl resume`, `sim_check --replay`).
+    pub fn quarantine_job(&self, job: &FarmJob, err: &JobError) -> Result<(), FarmError> {
+        self.stats.quarantined.incr();
+        self.quarantine().record(&QuarantineEntry::new(job, err))
+    }
+
+    /// Run exactly the unfinished remainder recorded in the journal,
+    /// isolating failures. Pending entries whose result is already in
+    /// the store (completed by another process, or stored just before a
+    /// crash cut off the `done` record) are acknowledged without
+    /// re-running. Returns the `(key, outcome)` pairs actually run.
+    pub fn try_resume(&self, exec: &ExecConfig) -> Result<ResumeOutcomes, FarmError> {
         let pending = self.pending()?;
         let mut to_run = Vec::new();
         for (key, job) in pending {
@@ -296,17 +425,62 @@ impl Farm {
                 to_run.push((key, job));
             }
         }
-        Ok(exec::run_work_stealing(to_run, workers, |(key, job)| {
-            let report = job.simulate();
-            self.complete(&key, &job, &report);
-            (key, report)
-        }))
+        let done = exec::run_work_stealing(to_run.clone(), exec, |(key, job), ctx| {
+            if ctx.attempt > 1 {
+                self.stats.retried.incr();
+            }
+            let report = job.try_simulate(ctx.deadline)?;
+            self.complete(key, job, &report)?;
+            Ok(report)
+        });
+        Ok(to_run
+            .into_iter()
+            .zip(done)
+            .map(|((key, _), outcome)| (key, outcome))
+            .collect())
+    }
+
+    /// Run the unfinished journal remainder, panicking on the first
+    /// failed job. Returns the `(key, report)` pairs actually simulated.
+    pub fn resume(&self, workers: usize) -> Result<Vec<(String, RunReport)>, FarmError> {
+        let exec = ExecConfig::new(workers);
+        Ok(self
+            .try_resume(&exec)?
+            .into_iter()
+            .map(|(key, r)| match r {
+                Ok(report) => (key, report),
+                Err(e) => panic!("resumed job {key} failed: {e}"),
+            })
+            .collect())
+    }
+
+    /// Retry every quarantined job; entries that now succeed are
+    /// removed from the manifest (and their results stored), entries
+    /// that fail again stay. Returns `(recovered, still_failing)`.
+    pub fn retry_quarantined(&self, exec: &ExecConfig) -> Result<(usize, usize), FarmError> {
+        let q = self.quarantine();
+        let entries = q.load()?;
+        if entries.is_empty() {
+            return Ok((0, 0));
+        }
+        let jobs: Vec<FarmJob> = entries.iter().map(|e| e.job.clone()).collect();
+        let outcomes = self.try_run_batch(&jobs, exec);
+        let mut still = Vec::new();
+        for (entry, outcome) in entries.into_iter().zip(&outcomes) {
+            if let Err(e) = outcome {
+                still.push(QuarantineEntry::new(&entry.job, e));
+            }
+        }
+        let recovered = outcomes.len() - still.len();
+        let failing = still.len();
+        q.rewrite(&still)?;
+        Ok((recovered, failing))
     }
 
     /// Integrity-scan every store entry; returns `(ok, dropped)` counts.
     /// Corrupt, stale-format, or mis-keyed entries are deleted so the
     /// next request re-simulates them.
-    pub fn verify(&self) -> io::Result<(usize, usize)> {
+    pub fn verify(&self) -> Result<(usize, usize), FarmError> {
         let mut ok = 0;
         let mut dropped = 0;
         for key in self.store.keys()? {
@@ -339,20 +513,32 @@ impl Farm {
     }
 
     /// Persist a finished job and mark it done in the journal.
-    fn complete(&self, key: &str, job: &FarmJob, report: &RunReport) {
+    ///
+    /// Transient store failures (injected ENOSPC, partial writes)
+    /// surface as [`JobFault::Transient`] so the executor retries the
+    /// job; non-transient ones (an unstorable report) degrade to a
+    /// warning — the in-memory result is still correct, it just will
+    /// not be cached.
+    fn complete(&self, key: &str, job: &FarmJob, report: &RunReport) -> Result<(), JobFault> {
         match self.store.put(key, job, report) {
             Ok(()) => {}
+            Err(e) if e.transient() => {
+                return Err(JobFault::Transient(format!(
+                    "{}: store put: {e}",
+                    job.label()
+                )));
+            }
             Err(e) => {
-                // An unstorable report (e.g. non-finite metric that does
-                // not survive the JSON round-trip) still produces a
-                // correct in-memory result; it just will not be cached.
                 eprintln!("warning: cannot store {key}: {e}");
                 self.stats.unstorable.incr();
             }
         }
         self.stats.completed.incr();
         if let Err(e) = self.journal.done(key) {
+            // Losing the `done` record is benign: resume re-checks the
+            // store before re-running, so the job is acknowledged then.
             eprintln!("warning: journal write failed: {e}");
         }
+        Ok(())
     }
 }

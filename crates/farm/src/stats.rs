@@ -41,6 +41,10 @@ pub struct FarmStats {
     pub corrupt: Counter,
     /// Reports that could not be persisted (kept in memory only).
     pub unstorable: Counter,
+    /// Extra attempts spent retrying transient job failures.
+    pub retried: Counter,
+    /// Failed jobs written to the quarantine manifest.
+    pub quarantined: Counter,
 }
 
 impl FarmStats {
@@ -54,6 +58,8 @@ impl FarmStats {
             resumed: self.resumed.get(),
             corrupt: self.corrupt.get(),
             unstorable: self.unstorable.get(),
+            retried: self.retried.get(),
+            quarantined: self.quarantined.get(),
         }
     }
 }
@@ -75,6 +81,10 @@ pub struct FarmSnapshot {
     pub corrupt: u64,
     /// See [`FarmStats::unstorable`].
     pub unstorable: u64,
+    /// See [`FarmStats::retried`].
+    pub retried: u64,
+    /// See [`FarmStats::quarantined`].
+    pub quarantined: u64,
 }
 
 impl FarmSnapshot {
@@ -89,6 +99,8 @@ impl FarmSnapshot {
             resumed: self.resumed - earlier.resumed,
             corrupt: self.corrupt - earlier.corrupt,
             unstorable: self.unstorable - earlier.unstorable,
+            retried: self.retried - earlier.retried,
+            quarantined: self.quarantined - earlier.quarantined,
         }
     }
 
@@ -115,6 +127,8 @@ impl FarmSnapshot {
         c.add("farm.resumed", self.resumed as f64);
         c.add("farm.corrupt", self.corrupt as f64);
         c.add("farm.unstorable", self.unstorable as f64);
+        c.add("farm.retry.attempts", self.retried as f64);
+        c.add("farm.quarantine.written", self.quarantined as f64);
         c.set("farm.hit_rate_pct", self.hit_rate_pct());
         c
     }
@@ -138,6 +152,12 @@ impl FarmSnapshot {
         }
         if self.unstorable > 0 {
             s.push_str(&format!(", {} unstorable", self.unstorable));
+        }
+        if self.retried > 0 {
+            s.push_str(&format!(", {} retries", self.retried));
+        }
+        if self.quarantined > 0 {
+            s.push_str(&format!(", {} quarantined", self.quarantined));
         }
         s
     }

@@ -6,7 +6,7 @@
 //!
 //! ```json
 //! {
-//!   "store_format": 1,
+//!   "store_format": 2,
 //!   "report_format": 1,
 //!   "key": "6f0c…",
 //!   "job": { "bench": "fft", "config": { … } },
@@ -19,17 +19,26 @@
 //! unparsable entry that was written by a healthy process. Reads
 //! re-validate everything: the format versions, the embedded key
 //! against the filename, and the embedded config against the request.
+//!
+//! All filesystem traffic flows through a [`FarmIo`] handle, so the
+//! chaos test suite can inject ENOSPC, partial writes and read
+//! corruption deterministically (see [`crate::io::ChaosIo`]); the store
+//! must degrade — a failed write is reported as a typed
+//! [`FarmError`], a corrupted read as a [`StoreLookup::Corrupt`] miss —
+//! never panic or serve bad data.
 
+use crate::error::FarmError;
+use crate::io::{FarmIo, RealIo};
 use crate::FarmJob;
 use ptb_core::RunReport;
 use serde::{json, Deserialize, Map, Serialize, Value};
-use std::io;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// On-disk format version of store envelopes. Bump on any layout or
 /// semantics change; old entries then fail validation and re-run.
-pub const STORE_FORMAT: u32 = 1;
+/// (v2: `SimConfig` gained the `spin_cycle_budget` livelock watchdog.)
+pub const STORE_FORMAT: u32 = 2;
 
 /// Outcome of a store lookup.
 #[derive(Debug)]
@@ -46,18 +55,22 @@ pub enum StoreLookup {
 /// Content-addressed store of [`RunReport`]s under a root directory.
 pub struct ResultStore {
     dir: PathBuf,
-    tmp_seq: AtomicU64,
+    io: Arc<dyn FarmIo>,
 }
 
 impl ResultStore {
-    /// Open (or create) a store rooted at `dir`.
-    pub fn open(dir: impl AsRef<Path>) -> io::Result<Self> {
+    /// Open (or create) a store rooted at `dir` on the real filesystem.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Self, FarmError> {
+        Self::open_with(dir, Arc::new(RealIo))
+    }
+
+    /// Open (or create) a store rooted at `dir`, performing all
+    /// filesystem operations through `io`.
+    pub fn open_with(dir: impl AsRef<Path>, io: Arc<dyn FarmIo>) -> Result<Self, FarmError> {
         let dir = dir.as_ref().to_path_buf();
-        std::fs::create_dir_all(&dir)?;
-        Ok(ResultStore {
-            dir,
-            tmp_seq: AtomicU64::new(0),
-        })
+        io.create_dir_all(&dir)
+            .map_err(|e| FarmError::io("create store dir", &dir, e))?;
+        Ok(ResultStore { dir, io })
     }
 
     /// Root directory of the store.
@@ -76,8 +89,12 @@ impl ResultStore {
     /// The serialised envelope is parsed back before publication; a
     /// report that does not survive the JSON round-trip byte-for-byte
     /// identically (e.g. it contains a non-finite float) is rejected
-    /// here rather than poisoning the store.
-    pub fn put(&self, key: &str, job: &FarmJob, report: &RunReport) -> io::Result<()> {
+    /// here — as [`FarmError::Unstorable`] — rather than poisoning the
+    /// store. Filesystem failures come back as [`FarmError::Io`] with
+    /// [`FarmError::transient`] distinguishing retryable ones; a failed
+    /// write never leaves a partially-published entry because the
+    /// temp-file + rename protocol cleans up after itself.
+    pub fn put(&self, key: &str, job: &FarmJob, report: &RunReport) -> Result<(), FarmError> {
         let mut env = Map::new();
         env.insert("store_format".into(), Value::U64(u64::from(STORE_FORMAT)));
         env.insert(
@@ -89,41 +106,53 @@ impl ResultStore {
         env.insert("report".into(), report.to_value());
         let text = json::to_string_pretty(&Value::Object(env));
 
-        let reparsed = json::parse(&text)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        let unstorable = |reason: String| FarmError::Unstorable {
+            key: key.to_owned(),
+            reason,
+        };
+        let reparsed = json::parse(&text).map_err(|e| unstorable(e.to_string()))?;
         let report_v = reparsed
             .get("report")
-            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "lost report"))?;
-        let back = RunReport::from_value(report_v)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+            .ok_or_else(|| unstorable("lost report".into()))?;
+        let back = RunReport::from_value(report_v).map_err(|e| unstorable(e.to_string()))?;
         if back.to_value() != report.to_value() {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                "report does not round-trip losslessly through JSON",
+            return Err(unstorable(
+                "report does not round-trip losslessly through JSON".into(),
             ));
         }
 
         let path = self.path_for(key);
-        let parent = path.parent().expect("entry path has a parent");
-        std::fs::create_dir_all(parent)?;
-        let tmp = parent.join(format!(
-            ".{key}.{}.{}.tmp",
-            std::process::id(),
-            self.tmp_seq.fetch_add(1, Ordering::Relaxed)
-        ));
-        std::fs::write(&tmp, &text)?;
-        let renamed = std::fs::rename(&tmp, &path);
-        if renamed.is_err() {
-            std::fs::remove_file(&tmp).ok();
+        let Some(parent) = path.parent() else {
+            return Err(FarmError::BadKey {
+                key: key.to_owned(),
+            });
+        };
+        self.io
+            .create_dir_all(parent)
+            .map_err(|e| FarmError::io("create entry dir", parent, e))?;
+        // The temp name must be a pure function of the key (plus the
+        // pid, for cross-process safety): batch dedup guarantees one
+        // writer per key, and a path that does not depend on thread
+        // interleaving keeps ChaosIo's per-path fault sites replayable.
+        let tmp = parent.join(format!(".{key}.{}.tmp", std::process::id()));
+        if let Err(e) = self.io.write(&tmp, text.as_bytes()) {
+            // A torn temp file is invisible to readers (dot-prefixed,
+            // never renamed in); drop it and surface the typed error.
+            self.io.remove_file(&tmp).ok();
+            return Err(FarmError::io("write entry", &tmp, e));
         }
-        renamed
+        if let Err(e) = self.io.rename(&tmp, &path) {
+            self.io.remove_file(&tmp).ok();
+            return Err(FarmError::io("publish entry", &path, e));
+        }
+        Ok(())
     }
 
     /// Look up `key`, validating the entry against the requesting `job`.
     pub fn get(&self, key: &str, job: &FarmJob) -> StoreLookup {
-        let text = match std::fs::read_to_string(self.path_for(key)) {
+        let text = match self.io.read_to_string(&self.path_for(key)) {
             Ok(t) => t,
-            Err(e) if e.kind() == io::ErrorKind::NotFound => return StoreLookup::Miss,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return StoreLookup::Miss,
             Err(e) => return StoreLookup::Corrupt(format!("unreadable: {e}")),
         };
         let (env_job, report_v) = match Self::validate_envelope(&text, key) {
@@ -148,21 +177,27 @@ impl ResultStore {
 
     /// Remove the entry for `key`, if present.
     pub fn remove(&self, key: &str) {
-        std::fs::remove_file(self.path_for(key)).ok();
+        self.io.remove_file(&self.path_for(key)).ok();
     }
 
     /// All keys currently present (including entries that would fail
     /// validation — use [`ResultStore::verify_entry`] to check them).
-    pub fn keys(&self) -> io::Result<Vec<String>> {
+    pub fn keys(&self) -> Result<Vec<String>, FarmError> {
         let mut keys = Vec::new();
-        for shard in std::fs::read_dir(&self.dir)? {
-            let shard = shard?.path();
-            if !shard.is_dir() {
+        let shards = self
+            .io
+            .read_dir_names(&self.dir)
+            .map_err(|e| FarmError::io("list store", &self.dir, e))?;
+        for shard in shards {
+            let shard_path = self.dir.join(&shard);
+            if !shard_path.is_dir() {
                 continue;
             }
-            for entry in std::fs::read_dir(&shard)? {
-                let name = entry?.file_name();
-                let name = name.to_string_lossy();
+            let names = self
+                .io
+                .read_dir_names(&shard_path)
+                .map_err(|e| FarmError::io("list shard", &shard_path, e))?;
+            for name in names {
                 if let Some(key) = name.strip_suffix(".json") {
                     if !key.starts_with('.') {
                         keys.push(key.to_owned());
@@ -189,8 +224,10 @@ impl ResultStore {
     /// matches the filename, that the embedded job re-hashes to that
     /// key, and that the report deserialises.
     pub fn verify_entry(&self, key: &str) -> Result<(), String> {
-        let text =
-            std::fs::read_to_string(self.path_for(key)).map_err(|e| format!("unreadable: {e}"))?;
+        let text = self
+            .io
+            .read_to_string(&self.path_for(key))
+            .map_err(|e| format!("unreadable: {e}"))?;
         let (job, report_v) = Self::validate_envelope(&text, key)?;
         if job.key() != key {
             return Err("embedded job does not hash to this key".into());

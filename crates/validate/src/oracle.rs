@@ -85,6 +85,27 @@ pub fn check_case(case: &CaseSpec) -> Vec<Violation> {
             ));
             return out;
         }
+        Err(SimError::CycleBudgetExceeded {
+            budget,
+            cycle,
+            ref spinning,
+        }) => {
+            out.push(Violation::new(
+                "liveness",
+                format!(
+                    "livelock watchdog fired at cycle {cycle}: every unfinished core \
+                     ({spinning:?}) spun for {budget} consecutive cycles"
+                ),
+            ));
+            return out;
+        }
+        Err(SimError::DeadlineExceeded { cycles_done }) => {
+            out.push(Violation::new(
+                "liveness",
+                format!("wall-clock watchdog fired after {cycles_done} simulated cycles"),
+            ));
+            return out;
+        }
     };
     if audit.violations() > 0 {
         out.push(Violation::new(

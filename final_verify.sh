@@ -1,7 +1,19 @@
-#!/bin/sh
+#!/usr/bin/env bash
 # Final verification pass: full test suite + benches, logs kept in-repo.
-set -x
+# Exits nonzero if any stage fails; partial logs are still written.
+set -euo pipefail
 cd /root/repo
-cargo test --workspace 2>&1 | tee /root/repo/test_output.txt
-cargo bench --workspace 2>&1 | tee /root/repo/bench_output.txt
+
+cleanup() {
+    find "${PTB_FARM_DIR:-target/farm}" -name '.*.tmp' -delete 2>/dev/null || true
+}
+trap cleanup EXIT
+
+rc=0
+cargo test --workspace 2>&1 | tee /root/repo/test_output.txt || rc=1
+cargo bench --workspace 2>&1 | tee /root/repo/bench_output.txt || rc=1
+if [ "$rc" -ne 0 ]; then
+    echo "FINAL_VERIFY_FAILED (see test_output.txt / bench_output.txt)" >&2
+    exit "$rc"
+fi
 echo FINAL_VERIFY_DONE

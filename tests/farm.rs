@@ -162,11 +162,9 @@ fn corrupt_and_stale_entries_are_dropped_and_rerun() {
 
     // Stale format version → same treatment.
     let text = std::fs::read_to_string(&path).unwrap();
-    std::fs::write(
-        &path,
-        text.replacen("\"store_format\": 1", "\"store_format\": 0", 1),
-    )
-    .unwrap();
+    let current = format!("\"store_format\": {}", ptb_farm::STORE_FORMAT);
+    assert!(text.contains(&current), "envelope carries current format");
+    std::fs::write(&path, text.replacen(&current, "\"store_format\": 0", 1)).unwrap();
     farm.run_batch(std::slice::from_ref(&j), 1);
     let s = farm.stats();
     assert_eq!(s.corrupt, 2, "stale format detected");
