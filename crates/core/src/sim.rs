@@ -260,10 +260,16 @@ impl Simulation {
             }
 
             // 1. Memory system advances; completions reach the cores.
+            //    Split at the NoC/event boundary so profiles attribute
+            //    interconnect time separately from the event wheel.
             if profile {
                 phase_t = Instant::now();
             }
-            mem.tick();
+            mem.advance_noc();
+            if profile {
+                phase_t = phase_mark(obs, Phase::Noc, phase_t);
+            }
+            mem.advance_events();
             for resp in mem.drain_responses() {
                 cores[resp.core.index()].mem_response(resp.id);
             }
@@ -334,9 +340,14 @@ impl Simulation {
                 phase_t = phase_mark(obs, Phase::CoreTick, phase_t);
             }
 
-            // 4. Power sample for this cycle.
+            // 4. Power sample for this cycle. Observer-hook delivery
+            //    (pulse assembly, `on_cycle` fan-out) is timed separately
+            //    into Phase::Observer so it never pollutes the
+            //    PowerSample bucket.
+            let mut obs_ns: u64 = 0;
             let mem_act = mem.take_activity();
             if O::ENABLED {
+                let t0 = if profile { Some(Instant::now()) } else { None };
                 let totals = mem.stats().totals();
                 let pulse = MemPulse {
                     l1_accesses: mem_act.l1_accesses,
@@ -350,6 +361,9 @@ impl Simulation {
                 prev_mem = totals;
                 if !pulse.is_empty() {
                     obs.on_mem_pulse(cycle, &pulse);
+                }
+                if let Some(t0) = t0 {
+                    obs_ns += t0.elapsed().as_nanos() as u64;
                 }
             }
             let uncore = uncore_cycle_tokens(
@@ -367,7 +381,11 @@ impl Simulation {
             };
             let chip = sample.chip();
             if O::ENABLED {
+                let t0 = if profile { Some(Instant::now()) } else { None };
                 obs.on_cycle(cycle, &tokens, uncore, chip);
+                if let Some(t0) = t0 {
+                    obs_ns += t0.elapsed().as_nanos() as u64;
+                }
             }
             energy.add(&sample);
             if chip > budget.global {
@@ -388,7 +406,13 @@ impl Simulation {
                 thermal.step(&thermal_watts);
             }
             if profile {
-                phase_t = phase_mark(obs, Phase::PowerSample, phase_t);
+                if obs_ns > 0 {
+                    obs.on_phase_time(Phase::Observer, obs_ns);
+                }
+                let now = Instant::now();
+                let total = now.duration_since(phase_t).as_nanos() as u64;
+                obs.on_phase_time(Phase::PowerSample, total.saturating_sub(obs_ns));
+                phase_t = now;
             }
 
             // 5. Context/breakdown accounting.

@@ -10,12 +10,13 @@
 
 use ptb_core::report::{normalized_aopb_pct, normalized_energy_pct, slowdown_pct};
 use ptb_core::{MechanismKind, PtbPolicy, SimConfig, Simulation};
-use ptb_experiments::{emit, emit_partial, Job, Runner};
+use ptb_experiments::{emit, emit_partial, Job, ObsArgs, Runner};
 use ptb_metrics::{mean, Table};
 use ptb_workloads::Benchmark;
 
 fn main() {
     let mut args: Vec<String> = std::env::args().collect();
+    let obs = ObsArgs::parse(&mut args);
     let runner = Runner::from_env_args(&mut args);
     let n = runner.default_cores();
 
@@ -46,7 +47,7 @@ fn main() {
             n,
         ));
     }
-    let sweep = runner.sweep(&jobs);
+    let sweep = obs.run_sweep(&runner, &jobs);
     let mut gate = Table::new(
         format!("Extension: PTB spin gating ({n}-core, contended benchmarks)"),
         &[

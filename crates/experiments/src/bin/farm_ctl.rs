@@ -1,7 +1,8 @@
 //! Operate on a `ptb-farm` result store without re-running a figure.
 //!
 //! ```text
-//! farm_ctl status            # entry count, pending + quarantined jobs
+//! farm_ctl status            # entries, store bytes, journal hit/miss
+//!                            # traffic, pending + quarantined jobs
 //! farm_ctl resume            # run the journal's unfinished jobs, then
 //!                            # retry the quarantine manifest
 //! farm_ctl verify            # integrity-scan every entry, drop bad ones
@@ -28,11 +29,34 @@ fn main() {
     let cmd = args.get(1).map(String::as_str).unwrap_or("status");
     match cmd {
         "status" => {
-            let keys = farm.store().keys().unwrap_or_default();
+            let disk = farm.store().disk_stats().unwrap_or_default();
             let pending = farm.pending().unwrap_or_default();
             let quarantined = farm.quarantine().load().unwrap_or_default();
             println!("farm store: {}", farm.dir().display());
-            println!("  entries:     {}", keys.len());
+            println!("  entries:     {}", disk.entries);
+            println!(
+                "  total bytes: {} ({:.2} MiB)",
+                disk.total_bytes,
+                disk.total_bytes as f64 / (1024.0 * 1024.0)
+            );
+            match farm.journal_stats() {
+                Ok(t) if !t.is_empty() => {
+                    println!(
+                        "  journal traffic: {} hits, {} misses, {} deduped, {} completed ({:.0}% hit rate; reset by gc)",
+                        t.hits,
+                        t.misses,
+                        t.deduped,
+                        t.completed,
+                        if t.hits + t.misses > 0 {
+                            100.0 * t.hits as f64 / (t.hits + t.misses) as f64
+                        } else {
+                            0.0
+                        }
+                    );
+                }
+                Ok(_) => println!("  journal traffic: none recorded"),
+                Err(e) => eprintln!("warning: cannot read journal stats: {e}"),
+            }
             println!("  pending:     {}", pending.len());
             for (key, job) in &pending {
                 println!("    {} {}", &key[..12.min(key.len())], job.label());

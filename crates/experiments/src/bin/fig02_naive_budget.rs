@@ -8,12 +8,13 @@
 //! unit — the motivation for PTB.
 
 use ptb_core::MechanismKind;
-use ptb_experiments::{emit_partial, Job, Runner};
+use ptb_experiments::{emit_partial, Job, ObsArgs, Runner};
 use ptb_metrics::{mean, Table};
 use ptb_workloads::Benchmark;
 
 fn main() {
     let mut args: Vec<String> = std::env::args().collect();
+    let obs = ObsArgs::parse(&mut args);
     let runner = Runner::from_env_args(&mut args);
     let n = runner.default_cores();
     let mechs = [
@@ -29,7 +30,7 @@ fn main() {
             jobs.push(Job::new(bench, m, n));
         }
     }
-    let sweep = runner.sweep(&jobs);
+    let sweep = obs.run_sweep(&runner, &jobs);
 
     let mut energy = Table::new(
         format!(

@@ -7,7 +7,7 @@
 //! cholesky/blackscholes/swaptions/x264 show almost no contention.
 
 use ptb_core::MechanismKind;
-use ptb_experiments::{emit_partial, Job, Runner};
+use ptb_experiments::{emit_partial, Job, ObsArgs, Runner};
 use ptb_metrics::Table;
 use ptb_workloads::Benchmark;
 
@@ -15,6 +15,7 @@ const CORE_COUNTS: [usize; 4] = [2, 4, 8, 16];
 
 fn main() {
     let mut args: Vec<String> = std::env::args().collect();
+    let obs = ObsArgs::parse(&mut args);
     let runner = Runner::from_env_args(&mut args);
     let mut jobs = Vec::new();
     for bench in Benchmark::ALL {
@@ -22,7 +23,7 @@ fn main() {
             jobs.push(Job::new(bench, MechanismKind::None, n));
         }
     }
-    let sweep = runner.sweep(&jobs);
+    let sweep = obs.run_sweep(&runner, &jobs);
 
     let mut table = Table::new(
         "Figure 3: execution-time breakdown (%), per benchmark and core count",

@@ -8,7 +8,7 @@
 //! spins on the lock.
 
 use ptb_core::{MechanismKind, SimConfig, Simulation};
-use ptb_experiments::{emit, Runner};
+use ptb_experiments::{emit, ObsArgs, Runner};
 use ptb_isa::{BlockGenConfig, LockId};
 use ptb_metrics::Table;
 use ptb_sync::PowerSpinDetector;
@@ -49,6 +49,7 @@ fn spin_workload() -> WorkloadSpec {
 
 fn main() {
     let mut args: Vec<String> = std::env::args().collect();
+    let obs = ObsArgs::parse(&mut args);
     let runner = Runner::from_env_args(&mut args);
     let cfg = SimConfig {
         n_cores: 2,
@@ -56,9 +57,20 @@ fn main() {
         capture_trace: true,
         ..SimConfig::default()
     };
-    let report = Simulation::new(cfg)
-        .run_spec(&spin_workload())
-        .expect("run");
+    // This figure drives `run_spec` directly (custom 2-thread workload),
+    // so it attaches the observer stack by hand rather than through the
+    // runner; unobserved runs keep the zero-cost NullObserver path.
+    let sim = Simulation::new(cfg);
+    let report = if obs.enabled() {
+        let mut stack = obs.stack();
+        let r = sim
+            .run_spec_observed(&spin_workload(), &mut stack)
+            .expect("run");
+        obs.finish(&stack);
+        r
+    } else {
+        sim.run_spec(&spin_workload()).expect("run")
+    };
     let trace = report.trace.as_ref().expect("trace");
     let spinner = 1usize;
 

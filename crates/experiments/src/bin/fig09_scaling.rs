@@ -8,7 +8,7 @@
 
 use ptb_core::report::{normalized_aopb_pct, normalized_energy_pct};
 use ptb_core::{MechanismKind, PtbPolicy};
-use ptb_experiments::{emit_partial, Job, Runner};
+use ptb_experiments::{emit_partial, Job, ObsArgs, Runner};
 use ptb_metrics::{mean, Table};
 use ptb_workloads::Benchmark;
 
@@ -16,6 +16,7 @@ const CORE_COUNTS: [usize; 4] = [2, 4, 8, 16];
 
 fn main() {
     let mut args: Vec<String> = std::env::args().collect();
+    let obs = ObsArgs::parse(&mut args);
     let runner = Runner::from_env_args(&mut args);
     let mechs = |policy: PtbPolicy| {
         [
@@ -45,7 +46,7 @@ fn main() {
             }
         }
     }
-    let sweep = runner.sweep(&jobs);
+    let sweep = obs.run_sweep(&runner, &jobs);
     let find = |bench: Benchmark, mech: MechanismKind, n: usize| -> Option<&ptb_core::RunReport> {
         let idx = jobs
             .iter()

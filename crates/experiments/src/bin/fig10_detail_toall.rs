@@ -7,10 +7,18 @@
 //! (unstructured).
 
 use ptb_core::PtbPolicy;
-use ptb_experiments::{detail_figure, Runner};
+use ptb_experiments::{detail_figure, ObsArgs, Runner};
 
 fn main() {
     let mut args: Vec<String> = std::env::args().collect();
+    let obs = ObsArgs::parse(&mut args);
     let runner = Runner::from_env_args(&mut args);
-    detail_figure(&runner, PtbPolicy::ToAll, 0.0, "fig10_toall", "Figure 10");
+    detail_figure(
+        &runner,
+        &obs,
+        PtbPolicy::ToAll,
+        0.0,
+        "fig10_toall",
+        "Figure 10",
+    );
 }

@@ -6,10 +6,18 @@
 //! where giving all spare power to the critical-section owner helps most.
 
 use ptb_core::PtbPolicy;
-use ptb_experiments::{detail_figure, Runner};
+use ptb_experiments::{detail_figure, ObsArgs, Runner};
 
 fn main() {
     let mut args: Vec<String> = std::env::args().collect();
+    let obs = ObsArgs::parse(&mut args);
     let runner = Runner::from_env_args(&mut args);
-    detail_figure(&runner, PtbPolicy::ToOne, 0.0, "fig11_toone", "Figure 11");
+    detail_figure(
+        &runner,
+        &obs,
+        PtbPolicy::ToOne,
+        0.0,
+        "fig11_toone",
+        "Figure 11",
+    );
 }

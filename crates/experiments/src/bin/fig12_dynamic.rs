@@ -7,13 +7,15 @@
 //! the lowest AoPB.
 
 use ptb_core::PtbPolicy;
-use ptb_experiments::{detail_figure, Runner};
+use ptb_experiments::{detail_figure, ObsArgs, Runner};
 
 fn main() {
     let mut args: Vec<String> = std::env::args().collect();
+    let obs = ObsArgs::parse(&mut args);
     let runner = Runner::from_env_args(&mut args);
     detail_figure(
         &runner,
+        &obs,
         PtbPolicy::Dynamic,
         0.0,
         "fig12_dynamic",

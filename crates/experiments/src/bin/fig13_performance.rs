@@ -6,13 +6,15 @@
 //! mechanisms.
 
 use ptb_core::PtbPolicy;
-use ptb_experiments::{detail_figure, emit_partial, slowdown_table, Runner};
+use ptb_experiments::{detail_figure, emit_partial, slowdown_table, ObsArgs, Runner};
 
 fn main() {
     let mut args: Vec<String> = std::env::args().collect();
+    let obs = ObsArgs::parse(&mut args);
     let runner = Runner::from_env_args(&mut args);
     let (jobs, sweep) = detail_figure(
         &runner,
+        &obs,
         PtbPolicy::Dynamic,
         0.0,
         "fig13_detail",

@@ -9,7 +9,7 @@
 
 use ptb_core::report::{normalized_aopb_pct, normalized_energy_pct};
 use ptb_core::{MechanismKind, PtbPolicy};
-use ptb_experiments::{emit_partial, Job, Runner};
+use ptb_experiments::{emit_partial, Job, ObsArgs, Runner};
 use ptb_metrics::{mean, Table};
 use ptb_workloads::Benchmark;
 
@@ -18,6 +18,7 @@ const RELAX: [f64; 3] = [0.0, 0.2, 0.3];
 
 fn main() {
     let mut args: Vec<String> = std::env::args().collect();
+    let obs = ObsArgs::parse(&mut args);
     let runner = Runner::from_env_args(&mut args);
     let mut jobs: Vec<Job> = Vec::new();
     let push = |j: Job, jobs: &mut Vec<Job>| {
@@ -39,7 +40,7 @@ fn main() {
             }
         }
     }
-    let sweep = runner.sweep(&jobs);
+    let sweep = obs.run_sweep(&runner, &jobs);
     let find = |bench: Benchmark, mech: MechanismKind, n: usize| -> Option<&ptb_core::RunReport> {
         let idx = jobs
             .iter()

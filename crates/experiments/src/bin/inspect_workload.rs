@@ -3,12 +3,16 @@
 //! each Table 2 substitute actually executes. Args:
 //! `inspect_workload [benchmark] [threads]`.
 
-use ptb_experiments::{emit, Runner};
+use ptb_experiments::{emit, ObsArgs, Runner};
 use ptb_metrics::Table;
 use ptb_workloads::{Benchmark, FlatStmt};
 
 fn main() {
     let mut args: Vec<String> = std::env::args().collect();
+    let obs = ObsArgs::parse(&mut args);
+    if obs.enabled() {
+        eprintln!("warning: observability flags ignored: inspect_workload does not simulate");
+    }
     let runner = Runner::from_env_args(&mut args);
     let benches: Vec<Benchmark> = match args.get(1).map(|s| s.as_str()) {
         Some(name) => vec![Benchmark::from_name(name).expect("unknown benchmark")],

@@ -3,12 +3,16 @@
 
 use ptb_core::budget::BudgetSpec;
 use ptb_core::SimConfig;
-use ptb_experiments::{emit, Runner};
+use ptb_experiments::{emit, ObsArgs, Runner};
 use ptb_metrics::Table;
 use ptb_workloads::{Benchmark, Scale};
 
 fn main() {
     let mut args: Vec<String> = std::env::args().collect();
+    let obs = ObsArgs::parse(&mut args);
+    if obs.enabled() {
+        eprintln!("warning: observability flags ignored: show_config does not simulate");
+    }
     let runner = Runner::from_env_args(&mut args);
     let cfg = SimConfig::default();
 

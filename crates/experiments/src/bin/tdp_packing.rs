@@ -4,11 +4,15 @@
 //! Paper numbers: DVFS (65 % error) → 19 cores; 2-level (40 %) → 22;
 //! PTB (<10 %) → 29; ideal → 32.
 
-use ptb_experiments::{emit, Runner};
+use ptb_experiments::{emit, ObsArgs, Runner};
 use ptb_metrics::{cores_within_tdp, Table};
 
 fn main() {
     let mut args: Vec<String> = std::env::args().collect();
+    let obs = ObsArgs::parse(&mut args);
+    if obs.enabled() {
+        eprintln!("warning: observability flags ignored: tdp_packing does not simulate");
+    }
     let runner = Runner::from_env_args(&mut args);
     let tdp = 100.0;
     let per_core_budget = 3.125; // 100W/16 cores at a 50% budget

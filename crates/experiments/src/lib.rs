@@ -53,10 +53,12 @@ pub fn detail_mechanisms(ptb: MechanismKind) -> Vec<MechanismKind> {
 /// Runs with per-job failure isolation (see [`Runner::sweep`]): in
 /// `--keep-going` mode a bench whose baseline or any mechanism point
 /// failed is dropped from the tables (and named in the artefact
-/// footer). Emits `<stem>_energy`, `<stem>_aopb` and returns the jobs
-/// and sweep for any extra processing.
+/// footer). The sweep honours the caller's [`ObsArgs`] (see
+/// [`ObsArgs::run_sweep`]). Emits `<stem>_energy`, `<stem>_aopb` and
+/// returns the jobs and sweep for any extra processing.
 pub fn detail_figure(
     runner: &Runner,
+    obs: &ObsArgs,
     policy: PtbPolicy,
     relax: f64,
     stem: &str,
@@ -72,7 +74,7 @@ pub fn detail_figure(
             jobs.push(Job::new(bench, m, n));
         }
     }
-    let sweep = runner.sweep(&jobs);
+    let sweep = obs.run_sweep(runner, &jobs);
     let stride = 1 + mechs.len();
 
     let headers = ["bench", "DVFS", "DFS", "2level", "PTB+2level"];

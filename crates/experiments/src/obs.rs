@@ -15,7 +15,7 @@
 //! With none of the flags given, runs go through [`ptb_obs::NullObserver`]
 //! and pay no observability cost at all.
 
-use crate::runner::{Job, Runner};
+use crate::runner::{Job, Runner, Sweep};
 use ptb_core::RunReport;
 use ptb_metrics::Table;
 use ptb_obs::ObsStack;
@@ -124,6 +124,33 @@ impl ObsArgs {
         stack.merge_extra_metrics(&mut report.extra_metrics);
         self.finish(&stack);
         report
+    }
+
+    /// Run a whole sweep under these flags.
+    ///
+    /// With no flag set this is exactly [`Runner::sweep`] — parallel,
+    /// farm-cached, failure-isolating. With observation on, the jobs
+    /// run sequentially (deterministic artefact content) through one
+    /// shared [`ObsStack`], always live (a cache hit would observe
+    /// nothing), failing fast on the first error: counters accumulate
+    /// across the whole sweep, the trace ring covers its tail, and each
+    /// report's `extra_metrics` carries the stack state as of that run.
+    pub fn run_sweep(&self, runner: &Runner, jobs: &[Job]) -> Sweep {
+        if !self.enabled() {
+            return runner.sweep(jobs);
+        }
+        let mut stack = self.stack();
+        let mut reports = Vec::with_capacity(jobs.len());
+        for job in jobs {
+            let mut report = runner.run_one_observed(*job, &mut stack);
+            stack.merge_extra_metrics(&mut report.extra_metrics);
+            reports.push(Some(report));
+        }
+        self.finish(&stack);
+        Sweep {
+            reports,
+            failures: Vec::new(),
+        }
     }
 
     /// Write the artefacts and print the summaries a populated stack

@@ -24,8 +24,10 @@
 
 use crate::error::JobError;
 use parking_lot::Mutex;
+use ptb_obs::CounterRegistry;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 /// Bounded retry with exponential backoff for transient faults.
@@ -114,15 +116,147 @@ pub enum JobFault {
     Timeout(String),
 }
 
+/// Executor telemetry accumulated across batches, exported as
+/// `farm.exec.*` counters.
+///
+/// All fields are relaxed atomics (plus one mutexed latency vector for
+/// retry-backoff percentiles), so one instance can be shared by every
+/// worker of every batch a [`crate::Farm`] runs. Zero-valued stats mean
+/// the executor never ran (or ran unobserved via
+/// [`run_work_stealing`]).
+#[derive(Debug, Default)]
+pub struct ExecStats {
+    tasks: AtomicU64,
+    steals: AtomicU64,
+    steal_misses: AtomicU64,
+    max_queue_depth: AtomicU64,
+    batches: AtomicU64,
+    busy_ns: AtomicU64,
+    capacity_ns: AtomicU64,
+    wall_ns: AtomicU64,
+    retry_sleeps: AtomicU64,
+    backoffs_ms: Mutex<Vec<f64>>,
+}
+
+impl ExecStats {
+    /// Fresh, all-zero stats.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Tasks executed (one per input item, regardless of outcome).
+    pub fn tasks(&self) -> u64 {
+        self.tasks.load(Ordering::Relaxed)
+    }
+
+    /// Successful steals (a thief popped a victim's deque).
+    pub fn steals(&self) -> u64 {
+        self.steals.load(Ordering::Relaxed)
+    }
+
+    /// Deepest per-worker queue observed at batch seeding.
+    pub fn max_queue_depth(&self) -> u64 {
+        self.max_queue_depth.load(Ordering::Relaxed)
+    }
+
+    /// Worker utilization across all batches: job wall time over
+    /// `workers × batch wall time` (0..=1; 0 before any batch ran).
+    pub fn utilization(&self) -> f64 {
+        let cap = self.capacity_ns.load(Ordering::Relaxed);
+        if cap == 0 {
+            0.0
+        } else {
+            self.busy_ns.load(Ordering::Relaxed) as f64 / cap as f64
+        }
+    }
+
+    fn note_backoff(&self, backoff: Duration) {
+        self.retry_sleeps.fetch_add(1, Ordering::Relaxed);
+        self.backoffs_ms.lock().push(backoff.as_secs_f64() * 1e3);
+    }
+
+    fn note_queue_depth(&self, depth: u64) {
+        self.max_queue_depth.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    fn note_batch(&self, n_tasks: usize, workers: usize, wall: Duration) {
+        let wall_ns = wall.as_nanos() as u64;
+        self.tasks.fetch_add(n_tasks as u64, Ordering::Relaxed);
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.wall_ns.fetch_add(wall_ns, Ordering::Relaxed);
+        self.capacity_ns
+            .fetch_add(wall_ns.saturating_mul(workers as u64), Ordering::Relaxed);
+    }
+
+    /// Export as `farm.exec.*` series (retry-backoff percentiles via
+    /// `ptb_metrics::percentile`, only when sleeps happened).
+    pub fn counters(&self) -> CounterRegistry {
+        let mut c = CounterRegistry::new();
+        c.add("farm.exec.tasks", self.tasks() as f64);
+        c.add(
+            "farm.exec.batches",
+            self.batches.load(Ordering::Relaxed) as f64,
+        );
+        c.add("farm.exec.steals", self.steals() as f64);
+        c.add(
+            "farm.exec.steal_misses",
+            self.steal_misses.load(Ordering::Relaxed) as f64,
+        );
+        c.set("farm.exec.max_queue_depth", self.max_queue_depth() as f64);
+        c.add(
+            "farm.exec.wall_ms",
+            self.wall_ns.load(Ordering::Relaxed) as f64 / 1e6,
+        );
+        c.add(
+            "farm.exec.busy_ms",
+            self.busy_ns.load(Ordering::Relaxed) as f64 / 1e6,
+        );
+        c.set("farm.exec.utilization_pct", self.utilization() * 100.0);
+        c.add(
+            "farm.exec.retry.sleeps",
+            self.retry_sleeps.load(Ordering::Relaxed) as f64,
+        );
+        let backoffs = self.backoffs_ms.lock();
+        if !backoffs.is_empty() {
+            c.set(
+                "farm.exec.retry.backoff_ms_p50",
+                ptb_metrics::percentile(&backoffs, 50.0),
+            );
+            c.set(
+                "farm.exec.retry.backoff_ms_p95",
+                ptb_metrics::percentile(&backoffs, 95.0),
+            );
+        }
+        c
+    }
+}
+
 /// Run `f` over `items` on work-stealing threads and return one
 /// `Result` per item, **in input order**.
 ///
 /// Each attempt of each job runs inside `catch_unwind`, so a panicking
 /// job yields `Err(JobError::Panicked)` in its slot while every other
 /// job completes normally. `Err(JobFault::Transient)` results are
-/// retried with exponential backoff up to the policy's attempt budget;
+/// retried with exponential backoff under the policy's attempt budget;
 /// fatal faults, timeouts and panics are final on first occurrence.
 pub fn run_work_stealing<T, R, F>(items: Vec<T>, cfg: &ExecConfig, f: F) -> Vec<Result<R, JobError>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T, &JobCtx) -> Result<R, JobFault> + Sync,
+{
+    run_work_stealing_observed(items, cfg, None, f)
+}
+
+/// [`run_work_stealing`] with executor telemetry: when `stats` is given,
+/// queue depths, steal traffic, per-worker busy time and retry backoffs
+/// are accumulated into it (the jobs themselves are unaffected).
+pub fn run_work_stealing_observed<T, R, F>(
+    items: Vec<T>,
+    cfg: &ExecConfig,
+    stats: Option<&ExecStats>,
+    f: F,
+) -> Vec<Result<R, JobError>>
 where
     T: Sync,
     R: Send,
@@ -132,15 +266,29 @@ where
     if n == 0 {
         return Vec::new();
     }
+    let batch_t0 = Instant::now();
     let workers = cfg.workers.clamp(1, n);
     if workers == 1 {
-        return items.iter().map(|item| run_job(item, cfg, &f)).collect();
+        if let Some(s) = stats {
+            s.note_queue_depth(n as u64);
+        }
+        let out = items
+            .iter()
+            .map(|item| timed_job(item, cfg, stats, &f))
+            .collect();
+        if let Some(s) = stats {
+            s.note_batch(n, 1, batch_t0.elapsed());
+        }
+        return out;
     }
 
     let deques: Vec<Mutex<VecDeque<(usize, &T)>>> =
         (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
     for (i, item) in items.iter().enumerate() {
         deques[i % workers].lock().push_back((i, item));
+    }
+    if let Some(s) = stats {
+        s.note_queue_depth(n.div_ceil(workers) as u64);
     }
     let results: Vec<Mutex<Option<Result<R, JobError>>>> =
         (0..n).map(|_| Mutex::new(None)).collect();
@@ -157,22 +305,56 @@ where
                 let mut task = deques[me].lock().pop_front();
                 if task.is_none() {
                     task = steal(deques, me);
+                    if let Some(st) = stats {
+                        if task.is_some() {
+                            st.steals.fetch_add(1, Ordering::Relaxed);
+                        } else {
+                            st.steal_misses.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
                 }
                 let Some((idx, item)) = task else { break };
-                *results[idx].lock() = Some(run_job(item, cfg, f));
+                *results[idx].lock() = Some(timed_job(item, cfg, stats, f));
             });
         }
     })
     .expect("farm executor thread panicked outside catch_unwind");
 
+    if let Some(s) = stats {
+        s.note_batch(n, workers, batch_t0.elapsed());
+    }
     results
         .into_iter()
         .map(|slot| slot.into_inner().expect("every task ran"))
         .collect()
 }
 
+/// [`run_job`] plus per-task busy-time accounting.
+fn timed_job<T, R, F>(
+    item: &T,
+    cfg: &ExecConfig,
+    stats: Option<&ExecStats>,
+    f: &F,
+) -> Result<R, JobError>
+where
+    F: Fn(&T, &JobCtx) -> Result<R, JobFault>,
+{
+    let t0 = Instant::now();
+    let out = run_job(item, cfg, stats, f);
+    if let Some(s) = stats {
+        s.busy_ns
+            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    }
+    out
+}
+
 /// One job: catch panics, retry transient faults with backoff.
-fn run_job<T, R, F>(item: &T, cfg: &ExecConfig, f: &F) -> Result<R, JobError>
+fn run_job<T, R, F>(
+    item: &T,
+    cfg: &ExecConfig,
+    stats: Option<&ExecStats>,
+    f: &F,
+) -> Result<R, JobError>
 where
     F: Fn(&T, &JobCtx) -> Result<R, JobFault>,
 {
@@ -193,6 +375,9 @@ where
                     });
                 }
                 let backoff = cfg.retry.backoff(attempt + 1);
+                if let Some(s) = stats {
+                    s.note_backoff(backoff);
+                }
                 if !backoff.is_zero() {
                     std::thread::sleep(backoff);
                 }
@@ -383,6 +568,70 @@ mod tests {
             Ok(dl > Instant::now())
         });
         assert_eq!(out[0], Ok(true));
+    }
+
+    #[test]
+    fn exec_stats_capture_steals_and_utilization() {
+        let stats = ExecStats::new();
+        let out = run_work_stealing_observed(
+            (0..32).collect::<Vec<usize>>(),
+            &cfg(4),
+            Some(&stats),
+            |x, _| {
+                if *x < 4 {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Ok(*x)
+            },
+        );
+        assert_eq!(out.len(), 32);
+        assert_eq!(stats.tasks(), 32);
+        assert_eq!(stats.max_queue_depth(), 8);
+        // Front-loaded sleeps force stealing; every worker ends on a miss.
+        assert!(stats.steals() > 0, "steals = {}", stats.steals());
+        let c = stats.counters();
+        assert_eq!(c.get("farm.exec.tasks"), Some(32.0));
+        assert_eq!(c.get("farm.exec.batches"), Some(1.0));
+        assert!(c.get("farm.exec.steal_misses").unwrap() >= 1.0);
+        let util = c.get("farm.exec.utilization_pct").unwrap();
+        assert!(util > 0.0 && util <= 100.0, "utilization = {util}");
+        assert!(c.get("farm.exec.wall_ms").unwrap() > 0.0);
+    }
+
+    #[test]
+    fn exec_stats_record_retry_backoffs() {
+        let stats = ExecStats::new();
+        let e = ExecConfig {
+            retry: RetryPolicy {
+                max_attempts: 3,
+                base_backoff: Duration::from_millis(1),
+                max_backoff: Duration::from_millis(2),
+            },
+            ..cfg(1)
+        };
+        let out = run_work_stealing_observed(vec![0usize], &e, Some(&stats), |_, ctx| {
+            if ctx.attempt < 3 {
+                Err(JobFault::Transient("flaky".into()))
+            } else {
+                Ok(())
+            }
+        });
+        assert_eq!(out[0], Ok(()));
+        let c = stats.counters();
+        assert_eq!(c.get("farm.exec.retry.sleeps"), Some(2.0));
+        let p50 = c.get("farm.exec.retry.backoff_ms_p50").unwrap();
+        let p95 = c.get("farm.exec.retry.backoff_ms_p95").unwrap();
+        assert!(p50 >= 1.0 && p95 <= 2.0, "p50={p50} p95={p95}");
+    }
+
+    #[test]
+    fn unobserved_runs_have_zero_stats() {
+        let stats = ExecStats::new();
+        let _ = run_work_stealing((0..8).collect::<Vec<usize>>(), &cfg(2), |x, _| Ok(*x));
+        assert_eq!(stats.tasks(), 0);
+        assert_eq!(stats.utilization(), 0.0);
+        // Percentile series are absent, not zero, when nothing slept.
+        assert_eq!(stats.counters().get("farm.exec.retry.backoff_ms_p50"), None);
     }
 
     #[test]

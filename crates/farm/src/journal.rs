@@ -3,7 +3,10 @@
 //! One JSON object per line (`journal.jsonl`):
 //!
 //! * `{"submit":"<key>","job":{…}}` — the job was scheduled;
-//! * `{"done":"<key>"}` — its result landed in the store.
+//! * `{"done":"<key>"}` — its result landed in the store;
+//! * `{"stats":{…}}` — batch outcome counters ([`JournalStats`]),
+//!   ignored by pending-set recovery (and by loaders predating it,
+//!   which skip objects without a `submit`/`done` key).
 //!
 //! The pending set is recovered by replaying the lines in order: a
 //! submit opens a job, a done closes it, and a re-submit after a done
@@ -28,6 +31,41 @@ use std::collections::HashMap;
 use std::io::ErrorKind;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
+
+/// Batch outcome counters journalled as `{"stats":{…}}` lines so
+/// `farm_ctl status` can report hit/miss traffic across processes.
+///
+/// The journal is compacted whenever a farm opens with nothing pending,
+/// but [`Farm::open`](crate::Farm::open) carries the summed stats across
+/// that truncation as a single aggregate line — so sums derived from
+/// these records cover the farm's whole lifetime. `farm_ctl gc`
+/// truncates without carrying and resets the ledger.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JournalStats {
+    /// Jobs served from the store.
+    pub hits: u64,
+    /// Jobs that had to simulate.
+    pub misses: u64,
+    /// Duplicate submissions collapsed.
+    pub deduped: u64,
+    /// Jobs simulated and persisted.
+    pub completed: u64,
+}
+
+impl JournalStats {
+    /// Component-wise sum.
+    pub fn add(&mut self, other: &JournalStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.deduped += other.deduped;
+        self.completed += other.completed;
+    }
+
+    /// True when every counter is zero.
+    pub fn is_empty(&self) -> bool {
+        *self == JournalStats::default()
+    }
+}
 
 /// Handle for appending to a journal file.
 pub struct Journal {
@@ -72,6 +110,17 @@ impl Journal {
     pub fn done(&self, key: &str) -> Result<(), FarmError> {
         let mut m = Map::new();
         m.insert("done".into(), Value::Str(key.to_owned()));
+        self.append(&Value::Object(m))
+    }
+
+    /// Append a batch's outcome counters as a `{"stats":{…}}` record
+    /// (skipped when all-zero to keep the journal quiet).
+    pub fn record_stats(&self, stats: &JournalStats) -> Result<(), FarmError> {
+        if stats.is_empty() {
+            return Ok(());
+        }
+        let mut m = Map::new();
+        m.insert("stats".into(), stats.to_value());
         self.append(&Value::Object(m))
     }
 
@@ -137,6 +186,35 @@ impl Journal {
             .into_iter()
             .filter_map(|key| open.remove(&key).map(|job| (key, job)))
             .collect())
+    }
+
+    /// Sum every `{"stats":{…}}` record in the journal at `path`
+    /// through an explicit [`FarmIo`]. A missing file, and lines that
+    /// are not stats records, contribute nothing. Open-time compaction
+    /// re-appends the running total as one aggregate line, so the sum
+    /// covers the farm's lifetime (until a `gc` resets it).
+    pub fn load_stats_with(
+        path: impl AsRef<Path>,
+        io: &dyn FarmIo,
+    ) -> Result<JournalStats, FarmError> {
+        let path = path.as_ref();
+        let text = match io.read_to_string(path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == ErrorKind::NotFound => return Ok(JournalStats::default()),
+            Err(e) => return Err(FarmError::io("read journal", path, e)),
+        };
+        let mut total = JournalStats::default();
+        for line in text.lines() {
+            let Ok(v) = json::parse(line.trim()) else {
+                continue;
+            };
+            if let Some(s) = v.get("stats") {
+                if let Ok(s) = JournalStats::from_value(s) {
+                    total.add(&s);
+                }
+            }
+        }
+        Ok(total)
     }
 
     /// Reset the journal at `path` to empty (used once recovery
@@ -214,6 +292,50 @@ mod tests {
     fn missing_file_means_empty() {
         let pending = Journal::load_pending(tmp("nonexistent-never-created")).unwrap();
         assert!(pending.is_empty());
+    }
+
+    #[test]
+    fn stats_records_sum_and_do_not_disturb_pending() {
+        let path = tmp("stats");
+        let j = Journal::open(&path).unwrap();
+        let a = job(Benchmark::Fft);
+        j.submit(&a.key(), &a).unwrap();
+        j.record_stats(&JournalStats {
+            hits: 2,
+            misses: 1,
+            deduped: 0,
+            completed: 1,
+        })
+        .unwrap();
+        j.record_stats(&JournalStats {
+            hits: 1,
+            misses: 3,
+            deduped: 2,
+            completed: 3,
+        })
+        .unwrap();
+        // All-zero records are elided entirely.
+        j.record_stats(&JournalStats::default()).unwrap();
+
+        let total = Journal::load_stats_with(&path, &RealIo).unwrap();
+        assert_eq!(total.hits, 3);
+        assert_eq!(total.misses, 4);
+        assert_eq!(total.deduped, 2);
+        assert_eq!(total.completed, 4);
+        let lines = std::fs::read_to_string(&path).unwrap().lines().count();
+        assert_eq!(lines, 3, "submit + two non-empty stats records");
+
+        // A loader that predates stats records still recovers pending.
+        let pending = Journal::load_pending(&path).unwrap();
+        assert_eq!(pending.len(), 1);
+        assert_eq!(pending[0].0, a.key());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn stats_of_missing_file_are_zero() {
+        let s = Journal::load_stats_with(tmp("stats-nonexistent"), &RealIo).unwrap();
+        assert!(s.is_empty());
     }
 
     #[test]

@@ -84,12 +84,12 @@ pub mod stats;
 pub mod store;
 
 pub use error::{FarmError, JobError};
-pub use exec::{ExecConfig, JobCtx, JobFault, RetryPolicy};
+pub use exec::{ExecConfig, ExecStats, JobCtx, JobFault, RetryPolicy};
 pub use io::{ChaosConfig, ChaosIo, FarmIo, RealIo};
-pub use journal::Journal;
+pub use journal::{Journal, JournalStats};
 pub use quarantine::{Quarantine, QuarantineEntry, QUARANTINE_FILE};
 pub use stats::{FarmSnapshot, FarmStats};
-pub use store::{ResultStore, StoreLookup, STORE_FORMAT};
+pub use store::{ResultStore, StoreDiskStats, StoreLookup, STORE_FORMAT};
 
 use ptb_core::sim::SimError;
 use ptb_core::{RunReport, SimConfig, Simulation};
@@ -186,6 +186,7 @@ pub struct Farm {
     store: ResultStore,
     journal: Journal,
     stats: FarmStats,
+    exec_stats: ExecStats,
     io: Arc<dyn FarmIo>,
 }
 
@@ -205,15 +206,25 @@ impl Farm {
         let dir = dir.as_ref().to_path_buf();
         let store = ResultStore::open_with(dir.join("objects"), io.clone())?;
         let journal_path = dir.join("journal.jsonl");
+        let mut carried = JournalStats::default();
         if Journal::load_pending_with(&journal_path, io.as_ref())?.is_empty() {
+            // Compaction would also discard the accumulated traffic
+            // stats; sum them first and re-append below, so the journal
+            // stays a lifetime hit/miss ledger (reset by `farm_ctl gc`).
+            carried = Journal::load_stats_with(&journal_path, io.as_ref()).unwrap_or_default();
             Journal::truncate(&journal_path)?;
         }
         let journal = Journal::open_with(&journal_path, io.clone())?;
+        if !carried.is_empty() {
+            // Telemetry only: a failed re-append must not fail the open.
+            journal.record_stats(&carried).ok();
+        }
         Ok(Farm {
             dir,
             store,
             journal,
             stats: FarmStats::default(),
+            exec_stats: ExecStats::default(),
             io,
         })
     }
@@ -285,11 +296,26 @@ impl Farm {
         self.stats.snapshot()
     }
 
+    /// Executor telemetry (queue depth, steals, utilization, retry
+    /// backoffs) accumulated across this handle's batches.
+    pub fn exec_stats(&self) -> &ExecStats {
+        &self.exec_stats
+    }
+
+    /// Sum of the `{"stats":{…}}` records in this farm's journal —
+    /// hit/miss traffic from *all* processes since the journal was last
+    /// compacted, not just this handle.
+    pub fn journal_stats(&self) -> Result<JournalStats, FarmError> {
+        Journal::load_stats_with(self.dir.join("journal.jsonl"), self.io.as_ref())
+    }
+
     /// All counters of this farm as a `ptb-obs` registry: the
-    /// `farm.*` outcome counters plus, when fault injection is active,
-    /// the `farm.chaos.*` injected-fault counters.
+    /// `farm.*` outcome counters, the `farm.exec.*` executor telemetry,
+    /// plus, when fault injection is active, the `farm.chaos.*`
+    /// injected-fault counters.
     pub fn counters(&self) -> CounterRegistry {
         let mut c = self.stats.snapshot().counters();
+        c.merge(&self.exec_stats.counters());
         for (name, value) in self.io.counters() {
             c.set(name, value as f64);
         }
@@ -330,6 +356,7 @@ impl Farm {
         jobs: &[FarmJob],
         exec: &ExecConfig,
     ) -> Vec<Result<RunReport, JobError>> {
+        let stats_before = self.stats.snapshot();
         let mut results: Vec<Option<Result<RunReport, JobError>>> = vec![None; jobs.len()];
         // Batch-order indices of the first job carrying each key; later
         // occurrences are duplicates satisfied by copying.
@@ -365,14 +392,19 @@ impl Farm {
         }
 
         let miss_idx: Vec<usize> = misses.iter().map(|(idx, _)| *idx).collect();
-        let done = exec::run_work_stealing(misses, exec, |(idx, key), ctx| {
-            if ctx.attempt > 1 {
-                self.stats.retried.incr();
-            }
-            let report = jobs[*idx].try_simulate(ctx.deadline)?;
-            self.complete(key, &jobs[*idx], &report)?;
-            Ok(report)
-        });
+        let done = exec::run_work_stealing_observed(
+            misses,
+            exec,
+            Some(&self.exec_stats),
+            |(idx, key), ctx| {
+                if ctx.attempt > 1 {
+                    self.stats.retried.incr();
+                }
+                let report = jobs[*idx].try_simulate(ctx.deadline)?;
+                self.complete(key, &jobs[*idx], &report)?;
+                Ok(report)
+            },
+        );
         // The executor returns slots in input order, so zip against the
         // recorded miss indices to place successes and failures alike.
         for (idx, outcome) in miss_idx.into_iter().zip(done) {
@@ -381,10 +413,27 @@ impl Farm {
         for (idx, first) in dups {
             results[idx] = results[first].clone();
         }
+        self.journal_batch_stats(&stats_before);
         results
             .into_iter()
             .map(|r| r.expect("every job resolved"))
             .collect()
+    }
+
+    /// Journal this batch's hit/miss delta as a `{"stats":{…}}` record
+    /// so `farm_ctl status` can report traffic across processes. Best
+    /// effort: a failed append only warns.
+    fn journal_batch_stats(&self, before: &FarmSnapshot) {
+        let delta = self.stats.snapshot().since(before);
+        let record = JournalStats {
+            hits: delta.hits,
+            misses: delta.misses,
+            deduped: delta.deduped,
+            completed: delta.completed,
+        };
+        if let Err(e) = self.journal.record_stats(&record) {
+            eprintln!("warning: journal stats write failed: {e}");
+        }
     }
 
     /// Run a batch of jobs and return their reports in batch order,
@@ -413,6 +462,7 @@ impl Farm {
     /// crash cut off the `done` record) are acknowledged without
     /// re-running. Returns the `(key, outcome)` pairs actually run.
     pub fn try_resume(&self, exec: &ExecConfig) -> Result<ResumeOutcomes, FarmError> {
+        let stats_before = self.stats.snapshot();
         let pending = self.pending()?;
         let mut to_run = Vec::new();
         for (key, job) in pending {
@@ -425,14 +475,20 @@ impl Farm {
                 to_run.push((key, job));
             }
         }
-        let done = exec::run_work_stealing(to_run.clone(), exec, |(key, job), ctx| {
-            if ctx.attempt > 1 {
-                self.stats.retried.incr();
-            }
-            let report = job.try_simulate(ctx.deadline)?;
-            self.complete(key, job, &report)?;
-            Ok(report)
-        });
+        let done = exec::run_work_stealing_observed(
+            to_run.clone(),
+            exec,
+            Some(&self.exec_stats),
+            |(key, job), ctx| {
+                if ctx.attempt > 1 {
+                    self.stats.retried.incr();
+                }
+                let report = job.try_simulate(ctx.deadline)?;
+                self.complete(key, job, &report)?;
+                Ok(report)
+            },
+        );
+        self.journal_batch_stats(&stats_before);
         Ok(to_run
             .into_iter()
             .zip(done)

@@ -52,6 +52,15 @@ pub enum StoreLookup {
     Corrupt(String),
 }
 
+/// Size summary of a store, from [`ResultStore::disk_stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreDiskStats {
+    /// Entries present (readable or not).
+    pub entries: u64,
+    /// Total bytes across readable entries.
+    pub total_bytes: u64,
+}
+
 /// Content-addressed store of [`RunReport`]s under a root directory.
 pub struct ResultStore {
     dir: PathBuf,
@@ -212,6 +221,19 @@ impl ResultStore {
     /// Number of entries present.
     pub fn len(&self) -> usize {
         self.keys().map(|k| k.len()).unwrap_or(0)
+    }
+
+    /// Entry count and total on-disk bytes across all entries
+    /// (unreadable entries contribute zero bytes but still count).
+    pub fn disk_stats(&self) -> Result<StoreDiskStats, FarmError> {
+        let mut stats = StoreDiskStats::default();
+        for key in self.keys()? {
+            stats.entries += 1;
+            if let Ok(text) = self.io.read_to_string(&self.path_for(&key)) {
+                stats.total_bytes += text.len() as u64;
+            }
+        }
+        Ok(stats)
     }
 
     /// True when the store holds no entries.

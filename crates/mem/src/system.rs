@@ -318,14 +318,29 @@ impl MemorySystem {
         );
     }
 
-    /// Advance one cycle.
+    /// Advance one cycle. Equivalent to [`MemorySystem::advance_noc`]
+    /// followed by [`MemorySystem::advance_events`]; split so callers
+    /// that profile host time can attribute the interconnect separately.
     pub fn tick(&mut self) {
+        self.advance_noc();
+        self.advance_events();
+    }
+
+    /// First half of a cycle: bump the clock, advance the mesh, and
+    /// deliver arrived messages into the coherence controllers.
+    pub fn advance_noc(&mut self) {
         self.now += 1;
         self.mesh.advance();
         let arrivals = self.mesh.take_arrivals();
         for (dst, env) in arrivals {
             self.handle_msg(dst.0, env);
         }
+    }
+
+    /// Second half of a cycle: fire due latency events and run the
+    /// core-side L1 pipelines. Must follow [`MemorySystem::advance_noc`]
+    /// in the same cycle.
+    pub fn advance_events(&mut self) {
         // Due events.
         while let Some(Reverse(head)) = self.events.peek() {
             if head.at > self.now {

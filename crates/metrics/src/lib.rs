@@ -14,6 +14,6 @@ pub mod table;
 pub mod tdp;
 
 pub use hist::Histogram;
-pub use stats::{geomean, mean, stddev};
+pub use stats::{geomean, mean, median, percentile, stddev};
 pub use table::Table;
 pub use tdp::cores_within_tdp;

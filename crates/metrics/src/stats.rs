@@ -27,6 +27,30 @@ pub fn geomean(xs: &[f64]) -> f64 {
     (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
 }
 
+/// Linearly-interpolated percentile (`p` in 0..=100, clamped); 0 for an
+/// empty slice. NaN samples sort last.
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Less));
+    let rank = p.clamp(0.0, 100.0) / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Median (50th percentile); 0 for an empty slice.
+pub fn median(xs: &[f64]) -> f64 {
+    percentile(xs, 50.0)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -49,5 +73,23 @@ mod tests {
         assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
         assert_eq!(geomean(&[1.0, -1.0]), 0.0);
         assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    fn percentile_interpolates_and_clamps() {
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        assert_eq!(percentile(&[7.0], 95.0), 7.0);
+        let xs = [4.0, 1.0, 3.0, 2.0]; // unsorted on purpose
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 100.0), 4.0);
+        assert_eq!(percentile(&xs, 200.0), 4.0); // clamped
+        assert!((percentile(&xs, 50.0) - 2.5).abs() < 1e-12);
+        assert!((percentile(&xs, 25.0) - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn median_of_odd_and_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert!((median(&[1.0, 2.0, 3.0, 4.0]) - 2.5).abs() < 1e-12);
     }
 }

@@ -178,6 +178,55 @@ mod tests {
     }
 
     #[test]
+    fn merge_adds_gauges_too_by_design() {
+        // `merge` is additive for every series, including ones written
+        // with `set`: a gauge colliding across registries sums. Callers
+        // that want last-writer-wins must `set` after merging — this
+        // test pins that contract.
+        let mut a = CounterRegistry::new();
+        a.set("run.n_cores", 16.0);
+        let mut b = CounterRegistry::new();
+        b.set("run.n_cores", 16.0);
+        a.merge(&b);
+        assert_eq!(a.get("run.n_cores"), Some(32.0));
+        a.set("run.n_cores", 16.0);
+        assert_eq!(a.get("run.n_cores"), Some(16.0));
+    }
+
+    #[test]
+    fn merge_is_commutative_and_ignores_empty() {
+        let mut a = CounterRegistry::new();
+        a.add("x", 1.0);
+        a.add("only_a", 4.0);
+        let mut b = CounterRegistry::new();
+        b.add("x", 2.0);
+        b.add("only_b", 8.0);
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab.as_map(), ba.as_map());
+        assert_eq!(ab.get("x"), Some(3.0));
+        assert_eq!(ab.get("only_a"), Some(4.0));
+        assert_eq!(ab.get("only_b"), Some(8.0));
+
+        let before = ab.as_map().clone();
+        ab.merge(&CounterRegistry::new());
+        assert_eq!(ab.as_map(), &before);
+    }
+
+    #[test]
+    fn merge_self_copy_doubles() {
+        let mut a = CounterRegistry::new();
+        a.add("x", 2.5);
+        let snapshot = a.clone();
+        a.merge(&snapshot);
+        assert_eq!(a.get("x"), Some(5.0));
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
     fn table_is_sorted_and_csv_ready() {
         let mut c = CounterRegistry::new();
         c.set("b.gauge", 1.5);

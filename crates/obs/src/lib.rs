@@ -22,12 +22,23 @@
 //! * [`AuditObserver`] — checks token-conservation invariants every N
 //!   cycles and the energy integral at run end, panicking with context
 //!   on the first violation.
-//! * [`PhaseProfiler`] — wall-clock time per simulator phase (memory
-//!   tick / core tick / power sample / mechanism control).
+//! * [`PhaseProfiler`] — wall-clock time per simulator phase (NoC /
+//!   memory tick / core tick / power sample / mechanism control /
+//!   observer delivery), with per-sample latency histograms.
+//!
+//! With the `alloc-telemetry` feature, the [`alloc`] module adds a
+//! counting global-allocator wrapper so binaries can report allocs and
+//! bytes per simulated kilocycle. That module is the only unsafe code
+//! in the crate (a `GlobalAlloc` impl cannot be safe), hence the
+//! feature-switched lint below: `forbid` normally, `deny` with a scoped
+//! `allow` when the feature is on.
 
-#![forbid(unsafe_code)]
+#![cfg_attr(not(feature = "alloc-telemetry"), forbid(unsafe_code))]
+#![cfg_attr(feature = "alloc-telemetry", deny(unsafe_code))]
 #![deny(missing_docs)]
 
+#[cfg(feature = "alloc-telemetry")]
+pub mod alloc;
 mod audit;
 mod counters;
 mod profile;
@@ -154,45 +165,61 @@ impl MemPulse {
 /// Simulator phases measured by [`PhaseProfiler`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Phase {
-    /// Memory system tick + response drain + RMW execution.
+    /// Interconnect advance: mesh routing plus delivery of arrived
+    /// messages into the coherence controllers.
+    Noc,
+    /// Memory event wheel + L1 pipelines + response drain + RMW
+    /// execution.
     MemTick,
     /// Frequency-scaled core ticks + memory request forwarding.
     CoreTick,
-    /// Power sampling, energy/AoPB accounting, thermal step.
+    /// Power sampling, energy/AoPB accounting, thermal step (net of
+    /// observer-hook delivery, which is booked under
+    /// [`Phase::Observer`]).
     PowerSample,
     /// Context accounting + mechanism control + action application.
     Mechanism,
+    /// Observer-hook delivery cost (pulse assembly, `on_cycle` fan-out)
+    /// — the overhead of observation itself, kept out of the simulator
+    /// buckets so profiles stay honest.
+    Observer,
 }
 
 impl Phase {
     /// Number of phases.
-    pub const COUNT: usize = 4;
+    pub const COUNT: usize = 6;
 
     /// All phases, in loop order.
     pub const ALL: [Phase; Phase::COUNT] = [
+        Phase::Noc,
         Phase::MemTick,
         Phase::CoreTick,
         Phase::PowerSample,
         Phase::Mechanism,
+        Phase::Observer,
     ];
 
     /// Stable display name.
     pub fn name(self) -> &'static str {
         match self {
+            Phase::Noc => "noc",
             Phase::MemTick => "mem_tick",
             Phase::CoreTick => "core_tick",
             Phase::PowerSample => "power_sample",
             Phase::Mechanism => "mechanism",
+            Phase::Observer => "observer",
         }
     }
 
     /// Index into per-phase arrays.
     pub fn index(self) -> usize {
         match self {
-            Phase::MemTick => 0,
-            Phase::CoreTick => 1,
-            Phase::PowerSample => 2,
-            Phase::Mechanism => 3,
+            Phase::Noc => 0,
+            Phase::MemTick => 1,
+            Phase::CoreTick => 2,
+            Phase::PowerSample => 3,
+            Phase::Mechanism => 4,
+            Phase::Observer => 5,
         }
     }
 }
@@ -238,7 +265,7 @@ pub trait SimObserver {
 
     /// Whether the simulator should measure wall-clock phase times and
     /// deliver them via [`SimObserver::on_phase_time`]. Checked once per
-    /// run; timing costs ~4 `Instant::now()` calls per cycle when on.
+    /// run; timing costs ~6 `Instant::now()` calls per cycle when on.
     fn wants_phase_timing(&self) -> bool {
         false
     }

@@ -1,20 +1,59 @@
 //! Wall-clock phase profiling.
 
-use crate::{Phase, SimObserver};
-use ptb_metrics::Table;
+use crate::{Phase, RunEnd, SimObserver};
+use ptb_metrics::{Histogram, Table};
 use std::collections::BTreeMap;
+use std::time::Instant;
 
-/// Accumulates wall-clock time per simulator phase (memory tick, core
-/// tick, power sample, mechanism control), as measured by the simulator
-/// when [`SimObserver::wants_phase_timing`] returns true.
+/// Upper edge of the per-sample latency histograms, in nanoseconds.
+/// One phase of one simulated cycle rarely exceeds a few microseconds;
+/// anything beyond the edge is clamped into the last bin, which is fine
+/// for the p50/p95 questions the profiler answers.
+const HIST_MAX_NANOS: f64 = 65_536.0;
+
+/// Bins in the per-sample latency histograms (256 ns resolution).
+const HIST_BINS: usize = 256;
+
+/// Accumulates wall-clock time per simulator phase (NoC, memory tick,
+/// core tick, power sample, mechanism control, observer delivery), as
+/// measured by the simulator when [`SimObserver::wants_phase_timing`]
+/// returns true.
+///
+/// Besides the flat per-phase totals fed by [`SimObserver::on_phase_time`],
+/// the profiler keeps a [`Histogram`] of per-sample latencies for each
+/// phase (so tails are visible, not just means) and offers a scoped
+/// [`PhaseProfiler::enter`] / [`PhaseProfiler::exit`] API for code that
+/// wants nested attribution: entering a phase while another is open
+/// charges the parent its elapsed *self time* so far, so nested time is
+/// never double-counted. Unbalanced `exit` calls (and frames still open
+/// at run end) are tolerated and counted in
+/// [`PhaseProfiler::unbalanced`].
 ///
 /// The measurement itself costs a handful of `Instant::now()` calls per
 /// simulated cycle, so enable it for profiling runs, not for
 /// experiments whose wall-clock time matters.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct PhaseProfiler {
     nanos: [u64; Phase::COUNT],
     samples: [u64; Phase::COUNT],
+    hists: Vec<Histogram>,
+    stack: Vec<(Phase, Instant)>,
+    unbalanced: u64,
+}
+
+impl Default for PhaseProfiler {
+    fn default() -> Self {
+        PhaseProfiler {
+            nanos: [0; Phase::COUNT],
+            samples: [0; Phase::COUNT],
+            hists: Phase::ALL
+                .iter()
+                .map(|_| Histogram::new(0.0, HIST_MAX_NANOS, HIST_BINS))
+                .collect(),
+            stack: Vec::new(),
+            unbalanced: 0,
+        }
+    }
 }
 
 impl PhaseProfiler {
@@ -23,9 +62,81 @@ impl PhaseProfiler {
         Self::default()
     }
 
+    /// Record `nanos` spent in `phase` (one sample).
+    pub fn record(&mut self, phase: Phase, nanos: u64) {
+        self.nanos[phase.index()] += nanos;
+        self.samples[phase.index()] += 1;
+        self.hists[phase.index()].record(nanos as f64);
+    }
+
+    /// Begin a scoped `phase` frame. If another frame is open, the
+    /// parent is charged its self time so far (its clock restarts when
+    /// this frame exits), so nesting attributes each nanosecond to
+    /// exactly one phase.
+    pub fn enter(&mut self, phase: Phase) {
+        let now = Instant::now();
+        if let Some((parent, started)) = self.stack.last_mut() {
+            let elapsed = now.duration_since(*started).as_nanos() as u64;
+            let parent = *parent;
+            *started = now;
+            self.record(parent, elapsed);
+        }
+        self.stack.push((phase, now));
+    }
+
+    /// End the innermost scoped frame, charging it the time since its
+    /// `enter` (or since its last child exited). Returns the phase that
+    /// was closed, or `None` on an unbalanced `exit` (which is counted,
+    /// not panicked on).
+    pub fn exit(&mut self) -> Option<Phase> {
+        let now = Instant::now();
+        match self.stack.pop() {
+            Some((phase, started)) => {
+                let elapsed = now.duration_since(started).as_nanos() as u64;
+                self.record(phase, elapsed);
+                if let Some((_, resumed)) = self.stack.last_mut() {
+                    *resumed = now;
+                }
+                Some(phase)
+            }
+            None => {
+                self.unbalanced += 1;
+                None
+            }
+        }
+    }
+
+    /// Current scoped-frame nesting depth.
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Number of unbalanced frame events seen: `exit` with no open
+    /// frame, plus frames still open when the run ended.
+    pub fn unbalanced(&self) -> u64 {
+        self.unbalanced
+    }
+
     /// Total nanoseconds attributed to `phase`.
     pub fn nanos(&self, phase: Phase) -> u64 {
         self.nanos[phase.index()]
+    }
+
+    /// Number of samples recorded for `phase`.
+    pub fn samples(&self, phase: Phase) -> u64 {
+        self.samples[phase.index()]
+    }
+
+    /// Per-sample latency quantile (`q` in 0..=1) for `phase`, in
+    /// nanoseconds, estimated from the phase's histogram (0 when no
+    /// samples were recorded).
+    pub fn quantile_nanos(&self, phase: Phase, q: f64) -> f64 {
+        let h = &self.hists[phase.index()];
+        if h.count() == 0 {
+            0.0
+        } else {
+            h.quantile(q)
+        }
     }
 
     /// Total measured nanoseconds across all phases.
@@ -54,24 +165,41 @@ impl PhaseProfiler {
             );
         }
         m.insert("profile.total_ms".into(), self.total_nanos() as f64 / 1.0e6);
+        if self.unbalanced > 0 {
+            m.insert("profile.unbalanced_frames".into(), self.unbalanced as f64);
+        }
         m
     }
 
-    /// Render as a `phase,total_ms,share_pct` table.
+    /// Render as a `phase,total_ms,share_pct,samples,p50_ns,p95_ns`
+    /// table.
     pub fn to_table(&self, title: &str) -> Table {
-        let mut t = Table::new(title, &["phase", "total_ms", "share_pct"]);
+        let mut t = Table::new(
+            title,
+            &[
+                "phase",
+                "total_ms",
+                "share_pct",
+                "samples",
+                "p50_ns",
+                "p95_ns",
+            ],
+        );
         for p in Phase::ALL {
             t.row(vec![
                 p.name().to_owned(),
                 format!("{:.3}", self.nanos(p) as f64 / 1.0e6),
                 format!("{:.1}", self.share(p) * 100.0),
+                self.samples(p).to_string(),
+                format!("{:.0}", self.quantile_nanos(p, 0.5)),
+                format!("{:.0}", self.quantile_nanos(p, 0.95)),
             ]);
         }
         t
     }
 
     /// One-line summary like
-    /// `mem_tick 41.2% | core_tick 38.0% | power_sample 12.5% | mechanism 8.3% (total 1234 ms)`.
+    /// `noc 10.0% | mem_tick 31.2% | core_tick 38.0% | ... (total 1234 ms)`.
     pub fn summary(&self) -> String {
         let parts: Vec<String> = Phase::ALL
             .iter()
@@ -91,8 +219,16 @@ impl SimObserver for PhaseProfiler {
     }
 
     fn on_phase_time(&mut self, phase: Phase, nanos: u64) {
-        self.nanos[phase.index()] += nanos;
-        self.samples[phase.index()] += 1;
+        self.record(phase, nanos);
+    }
+
+    fn on_run_end(&mut self, _end: &RunEnd) {
+        // Frames left open at run end are unbalanced: close them so
+        // their time is not lost, and count them.
+        while !self.stack.is_empty() {
+            self.unbalanced += 1;
+            self.exit();
+        }
     }
 }
 
@@ -120,5 +256,80 @@ mod tests {
         let p = PhaseProfiler::new();
         assert_eq!(p.share(Phase::MemTick), 0.0);
         assert!(p.wants_phase_timing());
+    }
+
+    #[test]
+    fn quantiles_come_from_histograms() {
+        let mut p = PhaseProfiler::new();
+        for _ in 0..95 {
+            p.record(Phase::CoreTick, 1_000);
+        }
+        for _ in 0..5 {
+            p.record(Phase::CoreTick, 60_000);
+        }
+        assert_eq!(p.samples(Phase::CoreTick), 100);
+        let p50 = p.quantile_nanos(Phase::CoreTick, 0.5);
+        assert!((768.0..=1_536.0).contains(&p50), "p50 = {p50}");
+        let p99 = p.quantile_nanos(Phase::CoreTick, 0.99);
+        assert!(p99 >= 59_000.0, "p99 = {p99}");
+        // Untouched phase reports 0, not NaN.
+        assert_eq!(p.quantile_nanos(Phase::Noc, 0.95), 0.0);
+    }
+
+    #[test]
+    fn nested_frames_attribute_self_time_once() {
+        let mut p = PhaseProfiler::new();
+        p.enter(Phase::CoreTick);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        p.enter(Phase::Observer); // parent charged up to here
+        assert_eq!(p.depth(), 2);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        assert_eq!(p.exit(), Some(Phase::Observer));
+        assert_eq!(p.exit(), Some(Phase::CoreTick));
+        assert_eq!(p.depth(), 0);
+        assert_eq!(p.unbalanced(), 0);
+        let core = p.nanos(Phase::CoreTick);
+        let obs = p.nanos(Phase::Observer);
+        assert!(core >= 1_000_000, "core self time = {core}");
+        assert!(obs >= 1_000_000, "observer time = {obs}");
+        // Self-time attribution: total is the sum of disjoint intervals,
+        // so neither bucket contains the other's sleep.
+        assert_eq!(p.total_nanos(), core + obs);
+        // The parent phase was charged in two pieces (pre-child, post-child).
+        assert_eq!(p.samples(Phase::CoreTick), 2);
+        assert_eq!(p.samples(Phase::Observer), 1);
+    }
+
+    #[test]
+    fn unbalanced_exit_is_counted_not_fatal() {
+        let mut p = PhaseProfiler::new();
+        assert_eq!(p.exit(), None);
+        assert_eq!(p.unbalanced(), 1);
+        assert_eq!(p.total_nanos(), 0);
+    }
+
+    #[test]
+    fn open_frames_at_run_end_are_closed_and_counted() {
+        use crate::{RunEnd, SimObserver};
+        let mut p = PhaseProfiler::new();
+        p.enter(Phase::Mechanism);
+        p.enter(Phase::Observer);
+        p.on_run_end(&RunEnd {
+            cycles: 1,
+            energy_tokens: 0.0,
+        });
+        assert_eq!(p.depth(), 0);
+        assert_eq!(p.unbalanced(), 2);
+        assert_eq!(p.samples(Phase::Mechanism) + p.samples(Phase::Observer), 3);
+        assert_eq!(p.as_map()["profile.unbalanced_frames"], 2.0);
+    }
+
+    #[test]
+    fn table_has_distribution_columns() {
+        let mut p = PhaseProfiler::new();
+        p.record(Phase::Noc, 500);
+        let csv = p.to_table("profile").to_csv();
+        assert!(csv.lines().nth(1).unwrap().contains("p95_ns"));
+        assert!(csv.contains("noc,"));
     }
 }

@@ -1,6 +1,6 @@
 //! Bounded event recording and Chrome `trace_event` export.
 
-use crate::{MemPulse, RunMeta, SimObserver, SpinKind, ThrottleObs};
+use crate::{MemPulse, Phase, RunMeta, SimObserver, SpinKind, ThrottleObs};
 use serde::{json, Deserialize, Map, Serialize, Value};
 use std::collections::VecDeque;
 
@@ -68,6 +68,14 @@ pub enum Event {
         /// The deltas.
         pulse: crate::MemPulse,
     },
+    /// Host nanoseconds per simulator phase, accumulated since the
+    /// previous `PhaseTimes` event (indexed by [`Phase::index`]).
+    PhaseTimes {
+        /// Global cycle the window ended on.
+        cycle: u64,
+        /// Accumulated nanoseconds, one entry per [`Phase::ALL`].
+        nanos: Vec<u64>,
+    },
 }
 
 impl Event {
@@ -81,6 +89,7 @@ impl Event {
             | Event::SpinExit { cycle, .. }
             | Event::MemRetry { cycle, .. }
             | Event::MemPulse { cycle, .. } => cycle,
+            Event::PhaseTimes { cycle, .. } => cycle,
         }
     }
 }
@@ -102,6 +111,8 @@ pub struct EventRecorder {
     record_pulses: bool,
     dropped: u64,
     end_cycle: u64,
+    phase_acc: [u64; Phase::COUNT],
+    phase_dirty: bool,
 }
 
 impl EventRecorder {
@@ -116,6 +127,21 @@ impl EventRecorder {
             record_pulses: false,
             dropped: 0,
             end_cycle: 0,
+            phase_acc: [0; Phase::COUNT],
+            phase_dirty: false,
+        }
+    }
+
+    /// Emit the accumulated phase-time window as a `PhaseTimes` event
+    /// (no-op when nothing accumulated since the last flush).
+    fn flush_phase_times(&mut self, cycle: u64) {
+        if self.phase_dirty {
+            self.push(Event::PhaseTimes {
+                cycle,
+                nanos: self.phase_acc.to_vec(),
+            });
+            self.phase_acc = [0; Phase::COUNT];
+            self.phase_dirty = false;
         }
     }
 
@@ -254,6 +280,16 @@ impl EventRecorder {
                     args.insert("mem_accesses".into(), Value::U64(pulse.mem_accesses));
                     events.push(counter_event("mem events", ts, args));
                 }
+                Event::PhaseTimes { nanos, .. } => {
+                    let mut args = Map::new();
+                    for p in Phase::ALL {
+                        args.insert(
+                            p.name().into(),
+                            Value::U64(nanos.get(p.index()).copied().unwrap_or(0)),
+                        );
+                    }
+                    events.push(counter_event("host phase ns", ts, args));
+                }
             }
         }
         // Close any span left open at the end of the buffer.
@@ -342,6 +378,7 @@ impl SimObserver for EventRecorder {
                 chip,
                 uncore,
             });
+            self.flush_phase_times(cycle);
         }
     }
 
@@ -384,8 +421,14 @@ impl SimObserver for EventRecorder {
         }
     }
 
+    fn on_phase_time(&mut self, phase: Phase, nanos: u64) {
+        self.phase_acc[phase.index()] += nanos;
+        self.phase_dirty = true;
+    }
+
     fn on_run_end(&mut self, end: &crate::RunEnd) {
         self.end_cycle = end.cycles;
+        self.flush_phase_times(end.cycles);
     }
 }
 
@@ -453,6 +496,43 @@ mod tests {
         {
             assert!(e.get("ts").unwrap().as_f64().is_some());
         }
+    }
+
+    #[test]
+    fn phase_times_flush_into_counter_track() {
+        let mut r = EventRecorder::new(64).with_sample_stride(2);
+        r.on_run_start(&meta(1));
+        r.on_phase_time(Phase::MemTick, 300);
+        r.on_phase_time(Phase::CoreTick, 700);
+        r.on_cycle(1, &[1.0], 0.5, 1.5); // off-stride: no flush
+        r.on_phase_time(Phase::CoreTick, 1_000);
+        r.on_cycle(2, &[1.0], 0.5, 1.5); // strided: sample + flush
+        r.on_run_end(&RunEnd {
+            cycles: 3,
+            energy_tokens: 0.0,
+        });
+        let times: Vec<&Event> = r
+            .events()
+            .filter(|e| matches!(e, Event::PhaseTimes { .. }))
+            .collect();
+        assert_eq!(times.len(), 1, "one flush at the strided sample");
+        match times[0] {
+            Event::PhaseTimes { cycle, nanos } => {
+                assert_eq!(*cycle, 2);
+                assert_eq!(nanos[Phase::MemTick.index()], 300);
+                assert_eq!(nanos[Phase::CoreTick.index()], 1_700);
+            }
+            _ => unreachable!(),
+        }
+        let v = r.chrome_trace();
+        let evs = v.get("traceEvents").unwrap().as_array().unwrap();
+        let host = evs
+            .iter()
+            .find(|e| e.get("name").unwrap().as_str() == Some("host phase ns"))
+            .expect("host phase counter track");
+        let args = host.get("args").unwrap();
+        assert_eq!(args.get("core_tick").unwrap().as_u64(), Some(1_700));
+        assert_eq!(args.get("noc").unwrap().as_u64(), Some(0));
     }
 
     #[test]

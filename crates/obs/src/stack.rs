@@ -172,6 +172,9 @@ impl SimObserver for ObsStack {
     }
 
     fn on_phase_time(&mut self, phase: Phase, nanos: u64) {
+        if let Some(o) = &mut self.recorder {
+            o.on_phase_time(phase, nanos);
+        }
         if let Some(o) = &mut self.profiler {
             o.on_phase_time(phase, nanos);
         }

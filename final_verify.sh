@@ -12,6 +12,10 @@ trap cleanup EXIT
 rc=0
 cargo test --workspace 2>&1 | tee /root/repo/test_output.txt || rc=1
 cargo bench --workspace 2>&1 | tee /root/repo/bench_output.txt || rc=1
+# Throughput headline: simulated cycles per host second (quick matrix).
+cargo run --release -q --bin sim_throughput -- \
+    --quick --out /root/repo/BENCH_simthroughput.json 2>/dev/null \
+    | grep '^SIM_THROUGHPUT:' || rc=1
 if [ "$rc" -ne 0 ]; then
     echo "FINAL_VERIFY_FAILED (see test_output.txt / bench_output.txt)" >&2
     exit "$rc"

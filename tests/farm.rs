@@ -198,3 +198,29 @@ fn verify_scans_and_drops_bad_entries() {
     assert_eq!(farm.store().len(), 1);
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn journal_traffic_survives_open_time_compaction() {
+    let dir = farm_dir("traffic");
+    let batch = vec![job(Benchmark::Fft, MechanismKind::None, 1)];
+
+    let farm = Farm::open(&dir).expect("open");
+    farm.run_batch(&batch, 1);
+    drop(farm);
+
+    // Reopening with nothing pending compacts the journal; the summed
+    // stats must be carried across as one aggregate line, not wiped.
+    let farm = Farm::open(&dir).expect("reopen");
+    let t = farm.journal_stats().expect("stats readable");
+    assert_eq!(t.misses, 1, "cold traffic survives compaction");
+    assert_eq!(t.completed, 1);
+    assert_eq!(t.hits, 0);
+    farm.run_batch(&batch, 1);
+    drop(farm);
+
+    let farm = Farm::open(&dir).expect("reopen again");
+    let t = farm.journal_stats().expect("stats readable");
+    assert_eq!(t.hits, 1, "warm traffic accumulates on top");
+    assert_eq!(t.misses, 1);
+    std::fs::remove_dir_all(&dir).ok();
+}

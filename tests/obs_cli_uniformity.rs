@@ -1,0 +1,48 @@
+//! Every figure binary must accept the shared observability flags
+//! (`--trace-out`/`--metrics-out`/`--profile`/`--audit`) through
+//! `ObsArgs::parse`, so the flag set stays uniform across the CLI
+//! surface instead of silently ignored by some binaries.
+//!
+//! This is a source-level check: it scans `crates/experiments/src/bin`
+//! and asserts each binary calls `ObsArgs::parse`. Exempt are the
+//! non-figure utilities with their own argv contracts: `farm_ctl`
+//! (subcommand CLI over an existing store — no simulation of its own)
+//! and `sim_check` (the fuzzer, driven by the validation harness).
+
+use std::path::Path;
+
+/// Binaries allowed to skip `ObsArgs::parse`.
+const EXEMPT: &[&str] = &["farm_ctl.rs", "sim_check.rs"];
+
+#[test]
+fn every_figure_binary_parses_the_shared_obs_flags() {
+    let bin_dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("src/bin");
+    let mut missing = Vec::new();
+    let mut seen = 0usize;
+    for entry in std::fs::read_dir(&bin_dir).expect("list src/bin") {
+        let path = entry.expect("dir entry").path();
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default()
+            .to_owned();
+        if !name.ends_with(".rs") || EXEMPT.contains(&name.as_str()) {
+            continue;
+        }
+        seen += 1;
+        let src = std::fs::read_to_string(&path).expect("read binary source");
+        if !src.contains("ObsArgs::parse") {
+            missing.push(name);
+        }
+    }
+    assert!(
+        seen >= 17,
+        "expected at least 17 non-exempt binaries, found {seen} — \
+         if binaries moved, update this test"
+    );
+    assert!(
+        missing.is_empty(),
+        "binaries ignoring the shared obs flags (wire ObsArgs::parse \
+         or add to EXEMPT with a rationale): {missing:?}"
+    );
+}
