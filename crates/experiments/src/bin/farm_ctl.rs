@@ -1,12 +1,19 @@
 //! Operate on a `ptb-farm` result store without re-running a figure.
 //!
 //! ```text
-//! farm_ctl status            # entries, store bytes, journal hit/miss
-//!                            # traffic, pending + quarantined jobs
+//! farm_ctl status            # entries, store bytes, shard fanout,
+//!                            # journal hit/miss traffic, pending +
+//!                            # quarantined jobs
+//! farm_ctl status --json     # the same as one machine-readable JSON
+//!                            # object (for the serve smoke job and
+//!                            # loadgen assertions)
 //! farm_ctl resume            # run the journal's unfinished jobs, then
 //!                            # retry the quarantine manifest
 //! farm_ctl verify            # integrity-scan every entry, drop bad ones
 //! farm_ctl gc                # verify + compact the journal
+//! farm_ctl migrate           # rewrite every entry into the binary
+//!                            # envelope (--format json converts back);
+//!                            # flat legacy stores are sharded in place
 //! ```
 //!
 //! All subcommands honour `PTB_FARM_DIR` and the shared `--farm-dir
@@ -17,7 +24,8 @@
 //! `ptb-obs` (plus `farm.chaos.*` under fault injection).
 
 use ptb_experiments::Runner;
-use ptb_farm::ExecConfig;
+use ptb_farm::{EntryFormat, ExecConfig};
+use serde::{json, Map, Value};
 
 fn main() {
     let mut args: Vec<String> = std::env::args().collect();
@@ -28,6 +36,9 @@ fn main() {
     };
     let cmd = args.get(1).map(String::as_str).unwrap_or("status");
     match cmd {
+        "status" if args.iter().any(|a| a == "--json") => {
+            print_status_json(farm);
+        }
         "status" => {
             let disk = farm.store().disk_stats().unwrap_or_default();
             let pending = farm.pending().unwrap_or_default();
@@ -39,6 +50,7 @@ fn main() {
                 disk.total_bytes,
                 disk.total_bytes as f64 / (1024.0 * 1024.0)
             );
+            println!("  shards:      {}", disk.shards);
             match farm.journal_stats() {
                 Ok(t) if !t.is_empty() => {
                     println!(
@@ -156,11 +168,65 @@ fn main() {
             }
             print_counters(farm);
         }
+        "migrate" => {
+            let target = match args.iter().position(|a| a == "--format") {
+                Some(i) => {
+                    let name = args.get(i + 1).map(String::as_str).unwrap_or("");
+                    match EntryFormat::parse(name) {
+                        Some(f) => f,
+                        None => {
+                            eprintln!("error: --format takes json|bin, got {name:?}");
+                            std::process::exit(2);
+                        }
+                    }
+                }
+                None => EntryFormat::Binary,
+            };
+            match farm.store().migrate(target) {
+                Ok(m) => {
+                    println!(
+                        "migrated to {target}: {} converted, {} already {target}, {} dropped",
+                        m.converted, m.already, m.dropped
+                    );
+                }
+                Err(e) => {
+                    eprintln!("error: migrate failed: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
         other => {
-            eprintln!("error: unknown subcommand {other:?} (status|resume|verify|gc)");
+            eprintln!("error: unknown subcommand {other:?} (status|resume|verify|gc|migrate)");
             std::process::exit(2);
         }
     }
+}
+
+/// `status --json`: one JSON object on stdout, nothing else — consumed
+/// by the CI serve-smoke job and by loadgen's zero-loss assertions.
+fn print_status_json(farm: &ptb_farm::Farm) {
+    let disk = farm.store().disk_stats().unwrap_or_default();
+    let pending = farm.pending().unwrap_or_default();
+    let quarantined = farm.quarantine().load().unwrap_or_default();
+    let traffic = farm.journal_stats().unwrap_or_default();
+    let mut obj = Map::new();
+    obj.insert("dir".into(), Value::Str(farm.dir().display().to_string()));
+    obj.insert("entries".into(), Value::U64(disk.entries));
+    obj.insert("total_bytes".into(), Value::U64(disk.total_bytes));
+    obj.insert("shards".into(), Value::U64(disk.shards));
+    obj.insert(
+        "store_format".into(),
+        Value::Str(farm.store().format().to_string()),
+    );
+    let mut journal = Map::new();
+    journal.insert("hits".into(), Value::U64(traffic.hits));
+    journal.insert("misses".into(), Value::U64(traffic.misses));
+    journal.insert("deduped".into(), Value::U64(traffic.deduped));
+    journal.insert("completed".into(), Value::U64(traffic.completed));
+    obj.insert("journal".into(), Value::Object(journal));
+    obj.insert("pending".into(), Value::U64(pending.len() as u64));
+    obj.insert("quarantined".into(), Value::U64(quarantined.len() as u64));
+    println!("{}", json::to_string(&Value::Object(obj)));
 }
 
 fn print_counters(farm: &ptb_farm::Farm) {

@@ -38,6 +38,10 @@ pub trait FarmIo: Send + Sync {
     fn create_dir_all(&self, path: &Path) -> io::Result<()>;
     /// `std::fs::read_to_string`.
     fn read_to_string(&self, path: &Path) -> io::Result<String>;
+    /// `std::fs::read` (binary store envelopes and the packed index).
+    fn read_bytes(&self, path: &Path) -> io::Result<Vec<u8>>;
+    /// Size of a file in bytes (index rebuild without reading content).
+    fn file_size(&self, path: &Path) -> io::Result<u64>;
     /// `std::fs::write` (whole-file publish of a store temp file).
     fn write(&self, path: &Path, data: &[u8]) -> io::Result<()>;
     /// `std::fs::rename` (atomic publish of a store entry).
@@ -51,6 +55,9 @@ pub trait FarmIo: Send + Sync {
     /// Append one journal line (including its trailing newline) and
     /// flush. `path` is the journal's path, passed for fault addressing.
     fn append_line(&self, file: &mut File, line: &str, path: &Path) -> io::Result<()>;
+    /// Append one binary record (a packed index record) and flush.
+    /// `path` is the index's path, passed for fault addressing.
+    fn append_bytes(&self, file: &mut File, bytes: &[u8], path: &Path) -> io::Result<()>;
     /// Injected-fault counters under the `farm.chaos.*` namespace
     /// (empty for non-chaotic implementations).
     fn counters(&self) -> Vec<(&'static str, u64)> {
@@ -68,6 +75,12 @@ impl FarmIo for RealIo {
     }
     fn read_to_string(&self, path: &Path) -> io::Result<String> {
         std::fs::read_to_string(path)
+    }
+    fn read_bytes(&self, path: &Path) -> io::Result<Vec<u8>> {
+        std::fs::read(path)
+    }
+    fn file_size(&self, path: &Path) -> io::Result<u64> {
+        Ok(std::fs::metadata(path)?.len())
     }
     fn write(&self, path: &Path, data: &[u8]) -> io::Result<()> {
         std::fs::write(path, data)
@@ -93,6 +106,10 @@ impl FarmIo for RealIo {
     }
     fn append_line(&self, file: &mut File, line: &str, _path: &Path) -> io::Result<()> {
         file.write_all(line.as_bytes())?;
+        file.flush()
+    }
+    fn append_bytes(&self, file: &mut File, bytes: &[u8], _path: &Path) -> io::Result<()> {
+        file.write_all(bytes)?;
         file.flush()
     }
 }
@@ -232,6 +249,18 @@ impl<I: FarmIo> FarmIo for ChaosIo<I> {
         Ok(text)
     }
 
+    fn read_bytes(&self, path: &Path) -> io::Result<Vec<u8>> {
+        let mut bytes = self.inner.read_bytes(path)?;
+        if !bytes.is_empty() && self.roll("read", path) < self.cfg.read_corrupt {
+            self.stats.read_corrupt.fetch_add(1, Ordering::Relaxed);
+            // Flip one byte at a seeded position, modelling bit rot; the
+            // binary envelope's checksum must catch it.
+            let pos = (splitmix(self.cfg.seed ^ fnv1a(&bytes)) as usize) % bytes.len();
+            bytes[pos] ^= 0xa5;
+        }
+        Ok(bytes)
+    }
+
     fn write(&self, path: &Path, data: &[u8]) -> io::Result<()> {
         if self.roll("write", path) < self.cfg.enospc {
             self.stats.enospc.fetch_add(1, Ordering::Relaxed);
@@ -260,6 +289,10 @@ impl<I: FarmIo> FarmIo for ChaosIo<I> {
             ));
         }
         self.inner.rename(from, to)
+    }
+
+    fn file_size(&self, path: &Path) -> io::Result<u64> {
+        self.inner.file_size(path)
     }
 
     fn remove_file(&self, path: &Path) -> io::Result<()> {
@@ -292,6 +325,27 @@ impl<I: FarmIo> FarmIo for ChaosIo<I> {
         if self.roll("fsync", path) < self.cfg.fsync_drop {
             // Durability lost, not correctness: the bytes are in the OS
             // buffer, we just skip the flush.
+            self.stats.fsync_drops.fetch_add(1, Ordering::Relaxed);
+            return Ok(());
+        }
+        file.flush()
+    }
+
+    fn append_bytes(&self, file: &mut File, bytes: &[u8], path: &Path) -> io::Result<()> {
+        if self.roll("append", path) < self.cfg.torn_append {
+            self.stats.torn_appends.fetch_add(1, Ordering::Relaxed);
+            // Model a crash mid-append: a prefix lands and the caller
+            // sees an error. Index replay must skip the torn record.
+            let cut = bytes.len() / 2;
+            file.write_all(&bytes[..cut])?;
+            file.flush().ok();
+            return Err(io::Error::new(
+                io::ErrorKind::Interrupted,
+                "chaos: injected torn append",
+            ));
+        }
+        file.write_all(bytes)?;
+        if self.roll("fsync", path) < self.cfg.fsync_drop {
             self.stats.fsync_drops.fetch_add(1, Ordering::Relaxed);
             return Ok(());
         }

@@ -74,9 +74,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod binfmt;
 pub mod error;
 pub mod exec;
 pub mod hash;
+pub mod index;
 pub mod io;
 pub mod journal;
 pub mod quarantine;
@@ -89,7 +91,9 @@ pub use io::{ChaosConfig, ChaosIo, FarmIo, RealIo};
 pub use journal::{Journal, JournalStats};
 pub use quarantine::{Quarantine, QuarantineEntry, QUARANTINE_FILE};
 pub use stats::{FarmSnapshot, FarmStats};
-pub use store::{ResultStore, StoreDiskStats, StoreLookup, STORE_FORMAT};
+pub use store::{
+    EntryFormat, MigrateReport, ResultStore, StoreDiskStats, StoreLookup, INDEX_FILE, STORE_FORMAT,
+};
 
 use ptb_core::sim::SimError;
 use ptb_core::{RunReport, SimConfig, Simulation};
@@ -203,8 +207,18 @@ impl Farm {
     /// [`Farm::open`] with every store/journal filesystem operation
     /// routed through `io` (pass a [`ChaosIo`] to fault-inject).
     pub fn open_with_io(dir: impl AsRef<Path>, io: Arc<dyn FarmIo>) -> Result<Farm, FarmError> {
+        Self::open_with_io_format(dir, io, EntryFormat::Json)
+    }
+
+    /// [`Farm::open_with_io`] choosing the representation new store
+    /// entries are written in (either is always read back).
+    pub fn open_with_io_format(
+        dir: impl AsRef<Path>,
+        io: Arc<dyn FarmIo>,
+        format: EntryFormat,
+    ) -> Result<Farm, FarmError> {
         let dir = dir.as_ref().to_path_buf();
-        let store = ResultStore::open_with(dir.join("objects"), io.clone())?;
+        let store = ResultStore::open_with_format(dir.join("objects"), io.clone(), format)?;
         let journal_path = dir.join("journal.jsonl");
         let mut carried = JournalStats::default();
         if Journal::load_pending_with(&journal_path, io.as_ref())?.is_empty() {
@@ -235,6 +249,8 @@ impl Farm {
     /// * `PTB_NO_CACHE` set (to anything but `0`) — disabled, returns
     ///   `None`;
     /// * `PTB_FARM_DIR` — store location (default `target/farm`);
+    /// * `PTB_STORE_FORMAT` — `json` (default) or `bin`/`binary`, the
+    ///   representation new store entries are written in;
     /// * `PTB_CHAOS` — fault-injection rate in `[0, 1]`; non-zero wraps
     ///   the filesystem in a [`ChaosIo`] (testing only);
     /// * `PTB_CHAOS_SEED` — seed for the injected faults (default 0).
@@ -250,6 +266,10 @@ impl Farm {
         let dir = std::env::var("PTB_FARM_DIR")
             .map(PathBuf::from)
             .unwrap_or_else(|_| PathBuf::from("target/farm"));
+        let format = std::env::var("PTB_STORE_FORMAT")
+            .ok()
+            .and_then(|v| EntryFormat::parse(&v))
+            .unwrap_or_default();
         let chaos_rate = std::env::var("PTB_CHAOS")
             .ok()
             .and_then(|v| v.parse::<f64>().ok())
@@ -264,7 +284,7 @@ impl Farm {
         } else {
             Arc::new(RealIo)
         };
-        match Farm::open_with_io(&dir, io) {
+        match Farm::open_with_io_format(&dir, io, format) {
             Ok(farm) => Some(farm),
             Err(e) => {
                 eprintln!(
@@ -550,6 +570,9 @@ impl Farm {
                 }
             }
         }
+        // The walk above is authoritative; re-derive the packed index
+        // from it so stale index state cannot outlive a verify.
+        self.store.rebuild_index()?;
         Ok((ok, dropped))
     }
 

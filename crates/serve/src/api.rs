@@ -1,0 +1,331 @@
+//! HTTP API: request routing and the JSON wire protocol.
+//!
+//! ## Endpoints
+//!
+//! | method | path | purpose |
+//! |---|---|---|
+//! | GET | `/healthz` | liveness probe |
+//! | GET | `/v1/status` | store + queue + job-registry summary |
+//! | GET | `/v1/metrics` | all `serve.*`/`farm.*` counters as one object |
+//! | GET | `/v1/metrics/stream?n=&interval_ms=` | NDJSON counter snapshots |
+//! | POST | `/v1/batches` | submit `{"jobs": [...]}`, returns dispositions |
+//! | GET | `/v1/batches/{id}` | per-job states of one batch |
+//! | GET | `/v1/jobs/{key}` | one job's state |
+//! | GET | `/v1/reports/{key}` | the stored `RunReport`, byte-stable |
+//!
+//! Report bodies are exactly `json::to_string(&report.to_value())` —
+//! the same bytes a direct [`FarmJob::simulate`] serializes to — so
+//! clients can byte-compare served results against local runs.
+//!
+//! ## Job objects
+//!
+//! A job is `{"bench": ..., "config": ...}`. `bench` accepts the
+//! lowercase Table-2 name (`"fft"`) or the enum variant (`"Fft"`).
+//! `config` is a full `SimConfig` value; when omitted, defaults apply.
+//! The shorthand keys `n_cores`, `scale`, and `mechanism` override the
+//! config in place for handwritten curl requests.
+
+use crate::http::{Request, Response};
+use crate::state::{JobRecord, JobState, RequestPhase, ServeState};
+use ptb_core::SimConfig;
+use ptb_farm::{FarmJob, StoreLookup};
+use ptb_workloads::Benchmark;
+use serde::{json, Deserialize, Map, Serialize, Value};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Max jobs accepted in one `POST /v1/batches`.
+pub const MAX_BATCH_JOBS: usize = 1024;
+
+/// Route one parsed request. This is the function handed to
+/// [`crate::http::Server::spawn`]; it never panics a worker — handler
+/// errors come back as JSON `{"error": ...}` bodies.
+pub fn handle(state: &Arc<ServeState>, req: &Request, rejected: u64) -> Response {
+    use std::sync::atomic::Ordering;
+    state.metrics.http_requests.fetch_add(1, Ordering::Relaxed);
+    let t0 = Instant::now();
+    let (phase, resp) = route(state, req, rejected);
+    state
+        .metrics
+        .observe(phase, t0.elapsed().as_secs_f64() * 1e3);
+    if resp.status >= 400 {
+        state.metrics.http_errors.fetch_add(1, Ordering::Relaxed);
+    }
+    resp
+}
+
+fn route(state: &Arc<ServeState>, req: &Request, rejected: u64) -> (RequestPhase, Response) {
+    let path = req.path.as_str();
+    match (req.method.as_str(), path) {
+        ("GET", "/healthz") => (
+            RequestPhase::Other,
+            Response::json(200, "{\"ok\":true}".to_string()),
+        ),
+        ("GET", "/v1/status") => (RequestPhase::Other, status(state)),
+        ("GET", "/v1/metrics") => (RequestPhase::Other, metrics(state, rejected)),
+        ("GET", "/v1/metrics/stream") => {
+            (RequestPhase::Other, metrics_stream(state, req, rejected))
+        }
+        ("POST", "/v1/batches") => (RequestPhase::Submit, submit(state, req)),
+        ("GET", _) if path.starts_with("/v1/batches/") => (
+            RequestPhase::Poll,
+            batch_status(state, &path["/v1/batches/".len()..]),
+        ),
+        ("GET", _) if path.starts_with("/v1/jobs/") => (
+            RequestPhase::Poll,
+            job_status(state, &path["/v1/jobs/".len()..]),
+        ),
+        ("GET", _) if path.starts_with("/v1/reports/") => (
+            RequestPhase::Report,
+            report(state, &path["/v1/reports/".len()..]),
+        ),
+        _ => (
+            RequestPhase::Other,
+            Response::error(404, &format!("no route for {} {}", req.method, path)),
+        ),
+    }
+}
+
+/// `GET /v1/status`.
+fn status(state: &Arc<ServeState>) -> Response {
+    let disk = state.farm().store().disk_stats().unwrap_or_default();
+    let (queued, running, done, failed) = state.job_totals();
+    let mut obj = Map::new();
+    obj.insert("entries".into(), Value::U64(disk.entries));
+    obj.insert("total_bytes".into(), Value::U64(disk.total_bytes));
+    obj.insert("shards".into(), Value::U64(disk.shards));
+    obj.insert(
+        "store_format".into(),
+        Value::Str(state.farm().store().format().to_string()),
+    );
+    obj.insert("queue_depth".into(), Value::U64(state.queue_depth() as u64));
+    let mut jobs = Map::new();
+    jobs.insert("queued".into(), Value::U64(queued));
+    jobs.insert("running".into(), Value::U64(running));
+    jobs.insert("done".into(), Value::U64(done));
+    jobs.insert("failed".into(), Value::U64(failed));
+    obj.insert("jobs".into(), Value::Object(jobs));
+    obj.insert("uptime_secs".into(), Value::F64(state.uptime_secs()));
+    Response::json(200, json::to_string(&Value::Object(obj)))
+}
+
+fn counters_value(state: &Arc<ServeState>, rejected: u64) -> Value {
+    let registry = state.counters(rejected);
+    let mut obj = Map::new();
+    for (name, value) in registry.as_map() {
+        obj.insert(name.clone(), Value::F64(*value));
+    }
+    Value::Object(obj)
+}
+
+/// `GET /v1/metrics`.
+fn metrics(state: &Arc<ServeState>, rejected: u64) -> Response {
+    Response::json(200, json::to_string(&counters_value(state, rejected)))
+}
+
+/// `GET /v1/metrics/stream?n=&interval_ms=`: `n` newline-delimited
+/// counter snapshots taken `interval_ms` apart. Bounded (`n` ≤ 60,
+/// interval ≤ 5000 ms) so a stream can never pin a worker for long.
+fn metrics_stream(state: &Arc<ServeState>, req: &Request, rejected: u64) -> Response {
+    let n = req.query_u64("n").unwrap_or(5).clamp(1, 60);
+    let interval = req.query_u64("interval_ms").unwrap_or(200).min(5000);
+    let mut body = String::new();
+    for i in 0..n {
+        body.push_str(&json::to_string(&counters_value(state, rejected)));
+        body.push('\n');
+        if i + 1 < n {
+            std::thread::sleep(std::time::Duration::from_millis(interval));
+        }
+    }
+    Response {
+        status: 200,
+        content_type: "application/x-ndjson",
+        body: body.into_bytes(),
+    }
+}
+
+/// Parse one wire job object into a [`FarmJob`].
+fn parse_job(v: &Value) -> Result<FarmJob, String> {
+    let obj = v.as_object().ok_or("job must be an object")?;
+    let bench_v = obj.get("bench").ok_or("job is missing \"bench\"")?;
+    let bench = match bench_v.as_str() {
+        Some(name) => Benchmark::from_name(&name.to_lowercase())
+            .or_else(|| Benchmark::from_value(bench_v).ok())
+            .ok_or_else(|| format!("unknown benchmark {name:?}"))?,
+        None => Benchmark::from_value(bench_v).map_err(|e| format!("bad \"bench\": {e}"))?,
+    };
+    let mut config = match obj.get("config") {
+        Some(c) => SimConfig::from_value(c).map_err(|e| format!("bad \"config\": {e}"))?,
+        None => SimConfig::default(),
+    };
+    // Shorthand overrides for handwritten requests.
+    if let Some(n) = obj.get("n_cores") {
+        config.n_cores = n
+            .as_u64()
+            .ok_or("\"n_cores\" must be an unsigned integer")? as usize;
+    }
+    if let Some(s) = obj.get("scale") {
+        config.scale =
+            ptb_workloads::Scale::from_value(s).map_err(|e| format!("bad \"scale\": {e}"))?;
+    }
+    if let Some(m) = obj.get("mechanism") {
+        config.mechanism = ptb_core::MechanismKind::from_value(m)
+            .map_err(|e| format!("bad \"mechanism\": {e}"))?;
+    }
+    Ok(FarmJob::new(bench, config))
+}
+
+/// `POST /v1/batches`.
+fn submit(state: &Arc<ServeState>, req: &Request) -> Response {
+    let body = match json::parse(&req.body) {
+        Ok(v) => v,
+        Err(e) => return Response::error(400, &format!("bad JSON: {e}")),
+    };
+    let jobs_v = match body.as_object().and_then(|o| o.get("jobs")) {
+        Some(Value::Array(a)) => a,
+        _ => return Response::error(400, "body must be {\"jobs\": [...]}"),
+    };
+    if jobs_v.is_empty() {
+        return Response::error(400, "empty batch");
+    }
+    if jobs_v.len() > MAX_BATCH_JOBS {
+        return Response::error(
+            400,
+            &format!("batch of {} exceeds limit {MAX_BATCH_JOBS}", jobs_v.len()),
+        );
+    }
+    let mut jobs = Vec::with_capacity(jobs_v.len());
+    for (i, jv) in jobs_v.iter().enumerate() {
+        match parse_job(jv) {
+            Ok(job) => jobs.push(job),
+            Err(e) => return Response::error(400, &format!("jobs[{i}]: {e}")),
+        }
+    }
+    let (batch_id, resolved) = state.submit(jobs);
+    let mut obj = Map::new();
+    obj.insert("batch".into(), Value::Str(batch_id));
+    obj.insert(
+        "jobs".into(),
+        Value::Array(
+            resolved
+                .into_iter()
+                .map(|(key, jstate, disposition)| {
+                    let mut j = Map::new();
+                    j.insert("key".into(), Value::Str(key));
+                    j.insert("state".into(), Value::Str(jstate.name().to_string()));
+                    j.insert(
+                        "disposition".into(),
+                        Value::Str(disposition.name().to_string()),
+                    );
+                    j
+                })
+                .map(Value::Object)
+                .collect(),
+        ),
+    );
+    Response::json(200, json::to_string(&Value::Object(obj)))
+}
+
+fn record_value(key: &str, rec: Option<&JobRecord>) -> Value {
+    let mut j = Map::new();
+    j.insert("key".into(), Value::Str(key.to_string()));
+    match rec {
+        Some(rec) => {
+            j.insert("state".into(), Value::Str(rec.state.name().to_string()));
+            j.insert("label".into(), Value::Str(rec.job.label()));
+            if let JobState::Failed(err) = &rec.state {
+                j.insert("error".into(), Value::Str(err.clone()));
+            }
+        }
+        None => {
+            j.insert("state".into(), Value::Str("unknown".to_string()));
+        }
+    }
+    Value::Object(j)
+}
+
+/// `GET /v1/batches/{id}`.
+fn batch_status(state: &Arc<ServeState>, id: &str) -> Response {
+    let Some(entries) = state.batch(id) else {
+        return Response::error(404, &format!("unknown batch {id:?}"));
+    };
+    let done = entries
+        .iter()
+        .filter(|(_, r)| {
+            matches!(
+                r.as_ref().map(|r| &r.state),
+                Some(JobState::Done) | Some(JobState::Failed(_))
+            )
+        })
+        .count();
+    let mut obj = Map::new();
+    obj.insert("batch".into(), Value::Str(id.to_string()));
+    obj.insert("total".into(), Value::U64(entries.len() as u64));
+    obj.insert("settled".into(), Value::U64(done as u64));
+    obj.insert("done".into(), Value::Bool(done == entries.len()));
+    obj.insert(
+        "jobs".into(),
+        Value::Array(
+            entries
+                .iter()
+                .map(|(k, r)| record_value(k, r.as_ref()))
+                .collect(),
+        ),
+    );
+    Response::json(200, json::to_string(&Value::Object(obj)))
+}
+
+/// `GET /v1/jobs/{key}`.
+fn job_status(state: &Arc<ServeState>, key: &str) -> Response {
+    match state.job(key) {
+        Some(rec) => Response::json(200, json::to_string(&record_value(key, Some(&rec)))),
+        None => {
+            // Not in this server's registry — it may still sit in the
+            // store from an earlier process.
+            match state.farm().store().read_entry(key) {
+                Ok(Some(_)) => {
+                    let mut j = Map::new();
+                    j.insert("key".into(), Value::Str(key.to_string()));
+                    j.insert("state".into(), Value::Str("done".to_string()));
+                    Response::json(200, json::to_string(&Value::Object(j)))
+                }
+                _ => Response::error(404, &format!("unknown job {key:?}")),
+            }
+        }
+    }
+}
+
+/// `GET /v1/reports/{key}`: the stored report, serialized compactly —
+/// byte-identical to `json::to_string(&job.simulate().to_value())`.
+fn report(state: &Arc<ServeState>, key: &str) -> Response {
+    // Prefer the registry: it validates against the submitted config
+    // and distinguishes queued/running/failed from plain absence.
+    if let Some(rec) = state.job(key) {
+        match &rec.state {
+            JobState::Done => match state.farm().store().get(key, &rec.job) {
+                StoreLookup::Hit(report) => {
+                    return Response::json(200, json::to_string(&report.to_value()));
+                }
+                StoreLookup::Miss => {
+                    return Response::error(404, &format!("report for {key:?} has been removed"));
+                }
+                StoreLookup::Corrupt(e) => {
+                    // Retryable: a re-submit will re-run the job.
+                    return Response::error(503, &format!("stored entry is corrupt: {e}"));
+                }
+            },
+            JobState::Queued | JobState::Running => {
+                return Response::error(409, &format!("job {key:?} is still {}", rec.state.name()));
+            }
+            JobState::Failed(err) => {
+                return Response::error(502, &format!("job failed: {err}"));
+            }
+        }
+    }
+    // Never submitted here: serve straight from the store.
+    match state.farm().store().read_entry(key) {
+        Ok(Some((_, report))) => Response::json(200, json::to_string(&report.to_value())),
+        Ok(None) => Response::error(404, &format!("no report for {key:?}")),
+        Err(e) => Response::error(503, &format!("stored entry is corrupt: {e}")),
+    }
+}

@@ -1,0 +1,562 @@
+//! Shared server state: the job registry, the submission queue, the
+//! scheduler thread that drains it onto the farm executor, and the
+//! `serve.*` metrics.
+//!
+//! ## Dedup contract
+//!
+//! A submitted job is identified by its farm content key. On submit:
+//!
+//! * key already `Done` (or its report is in the store) → answered as a
+//!   cache hit, nothing runs;
+//! * key `Queued`/`Running` → deduplicated against the in-flight job;
+//! * key previously `Failed` → re-enqueued (a deliberate retry);
+//! * otherwise → enqueued for the scheduler.
+//!
+//! The scheduler feeds batches to [`Farm::try_run_batch`], so every
+//! miss inherits the farm's full execution contract unchanged: journal
+//! record before first simulation, work-stealing execution,
+//! `catch_unwind` isolation, bounded retries with backoff, the per-job
+//! watchdog, and quarantine of persistent failures to `failed.jsonl`.
+//! A faulted job marks only its own key `failed`; the server keeps
+//! serving.
+
+use ptb_farm::{ExecConfig, Farm, FarmJob, StoreLookup};
+use ptb_obs::CounterRegistry;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Scheduler sizing.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Worker threads of the simulation executor (independent of the
+    /// HTTP pool).
+    pub sim_threads: usize,
+    /// Per-job wall-clock watchdog handed to the executor.
+    pub job_timeout: Option<Duration>,
+    /// Max jobs drained into one executor batch.
+    pub batch_max: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            sim_threads: 4,
+            job_timeout: Some(Duration::from_secs(300)),
+            batch_max: 64,
+        }
+    }
+}
+
+/// Lifecycle of one submitted job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobState {
+    /// Waiting for the scheduler.
+    Queued,
+    /// Handed to the executor.
+    Running,
+    /// Report available in the store.
+    Done,
+    /// Failed (retries exhausted, panic, or timeout); quarantined.
+    Failed(String),
+}
+
+impl JobState {
+    /// Wire name of this state.
+    pub fn name(&self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed(_) => "failed",
+        }
+    }
+}
+
+/// Registry record of one job.
+#[derive(Debug, Clone)]
+pub struct JobRecord {
+    /// The replayable job.
+    pub job: FarmJob,
+    /// Current lifecycle state.
+    pub state: JobState,
+}
+
+/// How a submit resolved one job (also its wire name).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Disposition {
+    /// Served from the store without running.
+    Cached,
+    /// Identical job already queued or running.
+    InFlight,
+    /// Scheduled to run.
+    Enqueued,
+    /// Previously failed; scheduled to run again.
+    Requeued,
+}
+
+impl Disposition {
+    /// Wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Disposition::Cached => "cached",
+            Disposition::InFlight => "in-flight",
+            Disposition::Enqueued => "enqueued",
+            Disposition::Requeued => "requeued",
+        }
+    }
+}
+
+/// Latency reservoir: keeps the most recent `cap` samples (plain ring
+/// overwrite) so percentile reads stay O(cap) at any traffic volume.
+#[derive(Debug)]
+pub struct LatencyRing {
+    buf: Vec<f64>,
+    cap: usize,
+    count: u64,
+}
+
+impl LatencyRing {
+    fn new(cap: usize) -> Self {
+        LatencyRing {
+            buf: Vec::new(),
+            cap,
+            count: 0,
+        }
+    }
+
+    fn push(&mut self, ms: f64) {
+        if self.buf.len() < self.cap {
+            self.buf.push(ms);
+        } else {
+            let at = (self.count % self.cap as u64) as usize;
+            self.buf[at] = ms;
+        }
+        self.count += 1;
+    }
+
+    /// `(count, p50, p95, p99)` over the retained window.
+    pub fn summary(&self) -> (u64, f64, f64, f64) {
+        if self.buf.is_empty() {
+            return (0, 0.0, 0.0, 0.0);
+        }
+        let mut xs = self.buf.clone();
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        (
+            self.count,
+            ptb_metrics::percentile(&xs, 50.0),
+            ptb_metrics::percentile(&xs, 95.0),
+            ptb_metrics::percentile(&xs, 99.0),
+        )
+    }
+}
+
+/// Request phases whose wall-clock latency the server tracks (the
+/// serving-path analogue of the simulator's `ptb_obs::Phase`
+/// attribution; exported as `serve.latency.*` percentiles).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestPhase {
+    /// `POST /v1/batches` (parse + dedup + enqueue).
+    Submit,
+    /// Job/batch status polls.
+    Poll,
+    /// Report fetches (`GET /v1/reports/*`) — the cached-lookup path.
+    Report,
+    /// Everything else (status, metrics, health).
+    Other,
+    /// One executor dispatch in the scheduler (covers simulation).
+    Execute,
+}
+
+impl RequestPhase {
+    const ALL: [RequestPhase; 5] = [
+        RequestPhase::Submit,
+        RequestPhase::Poll,
+        RequestPhase::Report,
+        RequestPhase::Other,
+        RequestPhase::Execute,
+    ];
+
+    fn name(self) -> &'static str {
+        match self {
+            RequestPhase::Submit => "submit",
+            RequestPhase::Poll => "poll",
+            RequestPhase::Report => "report",
+            RequestPhase::Other => "other",
+            RequestPhase::Execute => "execute",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            RequestPhase::Submit => 0,
+            RequestPhase::Poll => 1,
+            RequestPhase::Report => 2,
+            RequestPhase::Other => 3,
+            RequestPhase::Execute => 4,
+        }
+    }
+}
+
+/// `serve.*` counters and latency reservoirs.
+#[derive(Debug)]
+pub struct ServeMetrics {
+    /// Jobs received across all submits.
+    pub submitted: AtomicU64,
+    /// Jobs answered from the store (or already `Done`).
+    pub hits: AtomicU64,
+    /// Jobs identical to one queued/running.
+    pub deduped: AtomicU64,
+    /// Jobs newly enqueued.
+    pub enqueued: AtomicU64,
+    /// Failed jobs re-enqueued by a repeat submit.
+    pub requeued: AtomicU64,
+    /// Jobs completed by the executor.
+    pub completed: AtomicU64,
+    /// Jobs that exhausted the farm's failure handling.
+    pub failed: AtomicU64,
+    /// HTTP requests handled (parsed well enough to route).
+    pub http_requests: AtomicU64,
+    /// Responses with status ≥ 400.
+    pub http_errors: AtomicU64,
+    latency: [Mutex<LatencyRing>; 5],
+}
+
+/// Retained samples per latency ring (per phase).
+const LATENCY_WINDOW: usize = 65_536;
+
+impl Default for ServeMetrics {
+    fn default() -> Self {
+        ServeMetrics {
+            submitted: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            deduped: AtomicU64::new(0),
+            enqueued: AtomicU64::new(0),
+            requeued: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            http_requests: AtomicU64::new(0),
+            http_errors: AtomicU64::new(0),
+            latency: std::array::from_fn(|_| Mutex::new(LatencyRing::new(LATENCY_WINDOW))),
+        }
+    }
+}
+
+impl ServeMetrics {
+    /// Record `ms` spent in `phase`.
+    pub fn observe(&self, phase: RequestPhase, ms: f64) {
+        self.latency[phase.index()]
+            .lock()
+            .expect("latency lock")
+            .push(ms);
+    }
+
+    /// `(count, p50, p95, p99)` for `phase`, in milliseconds.
+    pub fn phase_summary(&self, phase: RequestPhase) -> (u64, f64, f64, f64) {
+        self.latency[phase.index()]
+            .lock()
+            .expect("latency lock")
+            .summary()
+    }
+}
+
+/// Everything the HTTP handlers and the scheduler share.
+pub struct ServeState {
+    farm: Arc<Farm>,
+    cfg: ServeConfig,
+    jobs: Mutex<HashMap<String, JobRecord>>,
+    batches: Mutex<HashMap<String, Vec<String>>>,
+    batch_seq: AtomicU64,
+    queue: Mutex<VecDeque<String>>,
+    wake: Condvar,
+    stop: AtomicBool,
+    started: Instant,
+    /// The `serve.*` metrics.
+    pub metrics: ServeMetrics,
+}
+
+impl ServeState {
+    /// Fresh state over an open farm.
+    pub fn new(farm: Arc<Farm>, cfg: ServeConfig) -> Self {
+        ServeState {
+            farm,
+            cfg,
+            jobs: Mutex::new(HashMap::new()),
+            batches: Mutex::new(HashMap::new()),
+            batch_seq: AtomicU64::new(0),
+            queue: Mutex::new(VecDeque::new()),
+            wake: Condvar::new(),
+            stop: AtomicBool::new(false),
+            started: Instant::now(),
+            metrics: ServeMetrics::default(),
+        }
+    }
+
+    /// The farm being served.
+    pub fn farm(&self) -> &Farm {
+        &self.farm
+    }
+
+    /// Seconds since the state was created.
+    pub fn uptime_secs(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+
+    /// Jobs waiting for the scheduler.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.lock().expect("queue lock").len()
+    }
+
+    /// Register a batch of jobs, deduplicating by content key. Returns
+    /// the batch id and one `(key, state, disposition)` per job, in
+    /// submission order.
+    pub fn submit(
+        &self,
+        submitted: Vec<FarmJob>,
+    ) -> (String, Vec<(String, JobState, Disposition)>) {
+        let keys: Vec<String> = submitted.iter().map(FarmJob::key).collect();
+        // Probe the store for keys not yet in the registry WITHOUT
+        // holding the jobs lock — a validated store lookup is disk I/O,
+        // and serializing it behind the registry lock would stall every
+        // concurrent submit and poll. The registry only grows, so a key
+        // absent here can at worst be inserted by a racing submitter
+        // before we re-take the lock; the Occupied arm handles that.
+        let probed: HashMap<&str, bool> = {
+            let jobs = self.jobs.lock().expect("jobs lock");
+            let need: Vec<usize> = (0..submitted.len())
+                .filter(|&i| !jobs.contains_key(&keys[i]))
+                .collect();
+            drop(jobs);
+            need.into_iter()
+                .map(|i| {
+                    // A hit means the job is already answered; corrupt
+                    // entries are left for the farm's own lookup (which
+                    // removes and re-runs them).
+                    let hit = matches!(
+                        self.farm.store().get(&keys[i], &submitted[i]),
+                        StoreLookup::Hit(_)
+                    );
+                    (keys[i].as_str(), hit)
+                })
+                .collect()
+        };
+        let mut resolved = Vec::with_capacity(submitted.len());
+        let mut to_enqueue = Vec::new();
+        {
+            let mut jobs = self.jobs.lock().expect("jobs lock");
+            for (job, key) in submitted.iter().zip(&keys) {
+                self.metrics.submitted.fetch_add(1, Ordering::Relaxed);
+                let (state, disposition) = match jobs.get_mut(key) {
+                    Some(rec) => match rec.state {
+                        JobState::Done => {
+                            self.metrics.hits.fetch_add(1, Ordering::Relaxed);
+                            (JobState::Done, Disposition::Cached)
+                        }
+                        JobState::Queued | JobState::Running => {
+                            self.metrics.deduped.fetch_add(1, Ordering::Relaxed);
+                            (rec.state.clone(), Disposition::InFlight)
+                        }
+                        JobState::Failed(_) => {
+                            rec.state = JobState::Queued;
+                            self.metrics.requeued.fetch_add(1, Ordering::Relaxed);
+                            to_enqueue.push(key.clone());
+                            (JobState::Queued, Disposition::Requeued)
+                        }
+                    },
+                    None => {
+                        if probed.get(key.as_str()).copied().unwrap_or(false) {
+                            self.metrics.hits.fetch_add(1, Ordering::Relaxed);
+                            jobs.insert(
+                                key.clone(),
+                                JobRecord {
+                                    job: job.clone(),
+                                    state: JobState::Done,
+                                },
+                            );
+                            (JobState::Done, Disposition::Cached)
+                        } else {
+                            self.metrics.enqueued.fetch_add(1, Ordering::Relaxed);
+                            jobs.insert(
+                                key.clone(),
+                                JobRecord {
+                                    job: job.clone(),
+                                    state: JobState::Queued,
+                                },
+                            );
+                            to_enqueue.push(key.clone());
+                            (JobState::Queued, Disposition::Enqueued)
+                        }
+                    }
+                };
+                resolved.push((key.clone(), state, disposition));
+            }
+        }
+        if !to_enqueue.is_empty() {
+            let mut queue = self.queue.lock().expect("queue lock");
+            queue.extend(to_enqueue);
+            drop(queue);
+            self.wake.notify_all();
+        }
+        let id = format!("b{}", self.batch_seq.fetch_add(1, Ordering::Relaxed) + 1);
+        self.batches.lock().expect("batches lock").insert(
+            id.clone(),
+            resolved.iter().map(|(k, _, _)| k.clone()).collect(),
+        );
+        (id, resolved)
+    }
+
+    /// Current record of one job, by key.
+    pub fn job(&self, key: &str) -> Option<JobRecord> {
+        self.jobs.lock().expect("jobs lock").get(key).cloned()
+    }
+
+    /// The keys of one batch plus each one's current record, in
+    /// submission order. `None` for an unknown batch id.
+    pub fn batch(&self, id: &str) -> Option<Vec<(String, Option<JobRecord>)>> {
+        let keys = self
+            .batches
+            .lock()
+            .expect("batches lock")
+            .get(id)
+            .cloned()?;
+        let jobs = self.jobs.lock().expect("jobs lock");
+        Some(
+            keys.into_iter()
+                .map(|k| {
+                    let rec = jobs.get(&k).cloned();
+                    (k, rec)
+                })
+                .collect(),
+        )
+    }
+
+    /// Totals of the job registry by state:
+    /// `(queued, running, done, failed)`.
+    pub fn job_totals(&self) -> (u64, u64, u64, u64) {
+        let jobs = self.jobs.lock().expect("jobs lock");
+        let mut t = (0, 0, 0, 0);
+        for rec in jobs.values() {
+            match rec.state {
+                JobState::Queued => t.0 += 1,
+                JobState::Running => t.1 += 1,
+                JobState::Done => t.2 += 1,
+                JobState::Failed(_) => t.3 += 1,
+            }
+        }
+        t
+    }
+
+    /// All counters of the server as a `ptb-obs` registry: the
+    /// `serve.*` namespace (traffic, outcomes, latency percentiles),
+    /// merged with the farm's own `farm.*` counters (plus
+    /// `farm.chaos.*` under fault injection).
+    pub fn counters(&self, rejected: u64) -> CounterRegistry {
+        let mut c = CounterRegistry::new();
+        let m = &self.metrics;
+        c.set(
+            "serve.submitted",
+            m.submitted.load(Ordering::Relaxed) as f64,
+        );
+        c.set("serve.hits", m.hits.load(Ordering::Relaxed) as f64);
+        c.set("serve.deduped", m.deduped.load(Ordering::Relaxed) as f64);
+        c.set("serve.enqueued", m.enqueued.load(Ordering::Relaxed) as f64);
+        c.set("serve.requeued", m.requeued.load(Ordering::Relaxed) as f64);
+        c.set(
+            "serve.completed",
+            m.completed.load(Ordering::Relaxed) as f64,
+        );
+        c.set("serve.failed", m.failed.load(Ordering::Relaxed) as f64);
+        c.set(
+            "serve.http.requests",
+            m.http_requests.load(Ordering::Relaxed) as f64,
+        );
+        c.set(
+            "serve.http.errors",
+            m.http_errors.load(Ordering::Relaxed) as f64,
+        );
+        c.set("serve.http.rejected", rejected as f64);
+        c.set("serve.queue_depth", self.queue_depth() as f64);
+        c.set("serve.uptime_secs", self.uptime_secs());
+        for phase in RequestPhase::ALL {
+            let (count, p50, p95, p99) = m.phase_summary(phase);
+            let name = phase.name();
+            c.set(&format!("serve.latency.{name}.count"), count as f64);
+            if count > 0 {
+                c.set(&format!("serve.latency.{name}.p50_ms"), p50);
+                c.set(&format!("serve.latency.{name}.p95_ms"), p95);
+                c.set(&format!("serve.latency.{name}.p99_ms"), p99);
+            }
+        }
+        c.merge(&self.farm.counters());
+        c
+    }
+
+    /// Ask the scheduler to exit once the queue is drained of what it
+    /// has already taken.
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        self.wake.notify_all();
+    }
+}
+
+/// Start the scheduler thread: drains the submission queue in batches
+/// of at most `batch_max` onto [`Farm::try_run_batch`], updating job
+/// states and quarantining failures as they resolve.
+pub fn spawn_scheduler(state: Arc<ServeState>) -> JoinHandle<()> {
+    std::thread::spawn(move || loop {
+        let keys: Vec<String> = {
+            let mut queue = state.queue.lock().expect("queue lock");
+            loop {
+                if !queue.is_empty() {
+                    break;
+                }
+                if state.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                queue = state.wake.wait(queue).expect("queue wait");
+            }
+            let take = queue.len().min(state.cfg.batch_max.max(1));
+            queue.drain(..take).collect()
+        };
+        let jobs: Vec<FarmJob> = {
+            let mut registry = state.jobs.lock().expect("jobs lock");
+            keys.iter()
+                .map(|k| {
+                    let rec = registry.get_mut(k).expect("queued job is registered");
+                    rec.state = JobState::Running;
+                    rec.job.clone()
+                })
+                .collect()
+        };
+        let exec = ExecConfig {
+            watchdog: state.cfg.job_timeout,
+            ..ExecConfig::new(state.cfg.sim_threads)
+        };
+        let t0 = Instant::now();
+        let outcomes = state.farm.try_run_batch(&jobs, &exec);
+        state
+            .metrics
+            .observe(RequestPhase::Execute, t0.elapsed().as_secs_f64() * 1e3);
+        let mut registry = state.jobs.lock().expect("jobs lock");
+        for ((key, job), outcome) in keys.iter().zip(&jobs).zip(outcomes) {
+            let rec = registry.get_mut(key).expect("running job is registered");
+            match outcome {
+                Ok(_) => {
+                    state.metrics.completed.fetch_add(1, Ordering::Relaxed);
+                    rec.state = JobState::Done;
+                }
+                Err(e) => {
+                    state.metrics.failed.fetch_add(1, Ordering::Relaxed);
+                    // Quarantine keeps the full replayable config; the
+                    // server itself stays up.
+                    if let Err(qe) = state.farm.quarantine_job(job, &e) {
+                        eprintln!("warning: cannot quarantine {key}: {qe}");
+                    }
+                    rec.state = JobState::Failed(e.to_string());
+                }
+            }
+        }
+    })
+}

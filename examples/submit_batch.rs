@@ -1,0 +1,134 @@
+//! Drive a running `ptb_serve` instance end to end — the CI
+//! `serve-smoke` client.
+//!
+//! ```text
+//! cargo run --release -p ptb-serve --example submit_batch -- --addr 127.0.0.1:7878
+//! ```
+//!
+//! Submits a two-job batch (fft + radix, 2 cores, test scale), polls
+//! the batch to completion, fetches both reports and byte-compares
+//! them against direct in-process simulations, then re-submits the
+//! identical batch and asserts every job is answered `cached` — the
+//! store round-trip is lossless and the dedup path does no work twice.
+
+use ptb_core::SimConfig;
+use ptb_farm::FarmJob;
+use ptb_serve::http_call;
+use ptb_workloads::{Benchmark, Scale};
+use serde::{json, Map, Serialize, Value};
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+fn jobs() -> Vec<FarmJob> {
+    [Benchmark::Fft, Benchmark::Radix]
+        .into_iter()
+        .map(|bench| {
+            FarmJob::new(
+                bench,
+                SimConfig {
+                    n_cores: 2,
+                    scale: Scale::Test,
+                    ..SimConfig::default()
+                },
+            )
+        })
+        .collect()
+}
+
+fn submit(addr: SocketAddr, jobs: &[FarmJob]) -> Value {
+    let mut body = Map::new();
+    body.insert(
+        "jobs".into(),
+        Value::Array(jobs.iter().map(|j| j.to_value()).collect()),
+    );
+    let (status, resp) = http_call(
+        addr,
+        "POST",
+        "/v1/batches",
+        Some(&json::to_string(&Value::Object(body))),
+    )
+    .expect("submit");
+    assert_eq!(status, 200, "submit failed: {resp}");
+    json::parse(&resp).expect("submit response JSON")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let addr: SocketAddr = args
+        .iter()
+        .position(|a| a == "--addr")
+        .and_then(|i| args.get(i + 1))
+        .expect("usage: submit_batch --addr HOST:PORT")
+        .parse()
+        .expect("parse --addr");
+
+    let jobs = jobs();
+
+    // Submit and poll the batch to completion.
+    let first = submit(addr, &jobs);
+    let batch_id = first
+        .as_object()
+        .and_then(|o| o.get("batch"))
+        .and_then(Value::as_str)
+        .expect("batch id")
+        .to_owned();
+    println!("submitted batch {batch_id} ({} jobs)", jobs.len());
+    let deadline = Instant::now() + Duration::from_secs(300);
+    loop {
+        let (status, body) =
+            http_call(addr, "GET", &format!("/v1/batches/{batch_id}"), None).expect("poll");
+        assert_eq!(status, 200, "poll failed: {body}");
+        let v = json::parse(&body).expect("poll JSON");
+        let done = v
+            .as_object()
+            .and_then(|o| o.get("done"))
+            .and_then(Value::as_bool)
+            .unwrap_or(false);
+        if done {
+            break;
+        }
+        assert!(Instant::now() < deadline, "batch did not settle in time");
+        std::thread::sleep(Duration::from_millis(200));
+    }
+
+    // Served reports must be byte-identical to direct simulations.
+    for job in &jobs {
+        let key = job.key();
+        let (status, served) =
+            http_call(addr, "GET", &format!("/v1/reports/{key}"), None).expect("fetch report");
+        assert_eq!(status, 200, "report fetch failed: {served}");
+        let direct = json::to_string(&job.simulate().to_value());
+        assert_eq!(
+            served,
+            direct,
+            "served report for {} differs from a direct run",
+            job.label()
+        );
+        println!(
+            "report {} … byte-identical ({} bytes)",
+            &key[..12],
+            served.len()
+        );
+    }
+
+    // Re-submitting the identical batch must be answered from cache.
+    let second = submit(addr, &jobs);
+    let resolved = second
+        .as_object()
+        .and_then(|o| o.get("jobs"))
+        .and_then(|v| v.as_array().cloned())
+        .expect("resolved jobs");
+    for r in &resolved {
+        let disposition = r
+            .as_object()
+            .and_then(|o| o.get("disposition"))
+            .and_then(Value::as_str)
+            .unwrap_or("?");
+        assert_eq!(
+            disposition, "cached",
+            "re-submit was not a cache hit: {r:?}"
+        );
+    }
+    println!("re-submit: {} / {} cached", resolved.len(), jobs.len());
+    println!("submit_batch OK");
+}

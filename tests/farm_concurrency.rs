@@ -1,0 +1,181 @@
+//! Concurrency guarantees of a shared `Farm` handle: many threads
+//! submitting the same key must agree on one byte-identical report and
+//! leave exactly one store entry behind, and a sweep killed mid-batch
+//! must replay exactly its unfinished remainder from the journal in a
+//! fresh process.
+
+use ptb_core::{MechanismKind, SimConfig};
+use ptb_farm::{ExecConfig, Farm, FarmJob};
+use ptb_workloads::{Benchmark, Scale};
+use serde::{json, Serialize};
+use std::path::PathBuf;
+use std::sync::{Arc, Barrier};
+
+fn job(bench: Benchmark, mech: MechanismKind, n_cores: usize) -> FarmJob {
+    FarmJob::new(
+        bench,
+        SimConfig {
+            n_cores,
+            scale: Scale::Test,
+            mechanism: mech,
+            ..SimConfig::default()
+        },
+    )
+}
+
+fn farm_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ptb-farm-cc-{}-{tag}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+#[test]
+fn parallel_same_key_submitters_write_once_and_agree() {
+    let dir = farm_dir("samekey");
+    let farm = Arc::new(Farm::open(&dir).expect("open"));
+    let point = job(Benchmark::Fft, MechanismKind::None, 2);
+    let key = point.key();
+
+    // Eight threads release together, each running the identical job
+    // through the failure-isolating batch path on the shared handle.
+    let n = 8;
+    let barrier = Arc::new(Barrier::new(n));
+    let reports: Vec<String> = (0..n)
+        .map(|_| {
+            let farm = farm.clone();
+            let point = point.clone();
+            let barrier = barrier.clone();
+            std::thread::spawn(move || {
+                barrier.wait();
+                let mut out = farm.try_run_batch(std::slice::from_ref(&point), &ExecConfig::new(1));
+                let report = out.remove(0).expect("job succeeds");
+                json::to_string(&report.to_value())
+            })
+        })
+        .collect::<Vec<_>>()
+        .into_iter()
+        .map(|h| h.join().expect("submitter thread"))
+        .collect();
+
+    // One result, byte-identical everywhere, exactly one store entry —
+    // the losers of the write race atomically renamed over the same
+    // bytes, never alongside them.
+    for r in &reports[1..] {
+        assert_eq!(r, &reports[0], "racing submitters disagree on the report");
+    }
+    assert_eq!(farm.store().len(), 1, "one entry for one key");
+    farm.store().verify_entry(&key).expect("entry is intact");
+    let (ok, dropped) = farm.verify().expect("verify");
+    assert_eq!((ok, dropped), (1, 0));
+    assert!(
+        farm.pending().expect("journal readable").is_empty(),
+        "no submitter left the journal dirty"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn parallel_mixed_batches_complete_every_key_exactly_once() {
+    let dir = farm_dir("mixed");
+    let farm = Arc::new(Farm::open(&dir).expect("open"));
+    let points = [
+        job(Benchmark::Fft, MechanismKind::None, 2),
+        job(Benchmark::Radix, MechanismKind::None, 2),
+        job(Benchmark::Fft, MechanismKind::Dvfs, 2),
+    ];
+
+    // Six threads, each submitting a rotated view of the same three
+    // points, all racing on the shared handle.
+    let n = 6;
+    let barrier = Arc::new(Barrier::new(n));
+    let handles: Vec<_> = (0..n)
+        .map(|t| {
+            let farm = farm.clone();
+            let barrier = barrier.clone();
+            let batch: Vec<FarmJob> = (0..points.len())
+                .map(|i| points[(t + i) % 3].clone())
+                .collect();
+            std::thread::spawn(move || {
+                barrier.wait();
+                for out in farm.try_run_batch(&batch, &ExecConfig::new(2)) {
+                    out.expect("job succeeds");
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("submitter thread");
+    }
+
+    assert_eq!(farm.store().len(), 3, "three keys, three entries");
+    for p in &points {
+        farm.store().verify_entry(&p.key()).expect("entry intact");
+        // Every stored report matches a direct simulation bit for bit.
+        let direct = json::to_string(&p.simulate().to_value());
+        let (_, stored) = farm
+            .store()
+            .read_entry(&p.key())
+            .expect("readable")
+            .expect("present");
+        assert_eq!(json::to_string(&stored.to_value()), direct);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn journal_replays_exactly_the_unfinished_remainder_after_a_kill() {
+    let dir = farm_dir("replay");
+    let points = [
+        job(Benchmark::Fft, MechanismKind::None, 2),
+        job(Benchmark::Radix, MechanismKind::None, 2),
+        job(Benchmark::Cholesky, MechanismKind::None, 2),
+    ];
+
+    // Process one schedules all three, finishes only the first, then
+    // dies (simulated by dropping the handle mid-sweep).
+    {
+        let farm = Farm::open(&dir).expect("open");
+        farm.record_pending(&points).expect("journal the sweep");
+        farm.run_batch(std::slice::from_ref(&points[0]), 1);
+        assert_eq!(farm.store().len(), 1);
+    }
+
+    // Process two sees exactly the two unfinished jobs — no more, no
+    // less — and resuming completes the sweep.
+    let farm = Farm::open(&dir).expect("reopen");
+    let pending = farm.pending().expect("journal readable");
+    let mut pending_keys: Vec<String> = pending.iter().map(|(k, _)| k.clone()).collect();
+    pending_keys.sort();
+    let mut want: Vec<String> = points[1..].iter().map(|p| p.key()).collect();
+    want.sort();
+    assert_eq!(
+        pending_keys, want,
+        "remainder is exactly the unfinished jobs"
+    );
+
+    let done = farm.try_resume(&ExecConfig::new(2)).expect("resume");
+    assert_eq!(done.len(), 2);
+    for (_, outcome) in &done {
+        assert!(outcome.is_ok(), "resumed job failed: {outcome:?}");
+    }
+    assert_eq!(farm.store().len(), 3, "the whole sweep is stored");
+    assert!(
+        farm.pending().expect("journal readable").is_empty(),
+        "journal is settled after the resume"
+    );
+    for p in &points {
+        let direct = json::to_string(&p.simulate().to_value());
+        let (_, stored) = farm
+            .store()
+            .read_entry(&p.key())
+            .expect("readable")
+            .expect("present");
+        assert_eq!(
+            json::to_string(&stored.to_value()),
+            direct,
+            "resumed report matches a direct run for {}",
+            p.label()
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
