@@ -14,6 +14,10 @@
 //! farm_ctl migrate           # rewrite every entry into the binary
 //!                            # envelope (--format json converts back);
 //!                            # flat legacy stores are sharded in place
+//! farm_ctl workers           # fleet view of a running ptb-serve
+//!                            # (--addr HOST:PORT, default
+//!                            # 127.0.0.1:7878): live workers and
+//!                            # outstanding leases
 //! ```
 //!
 //! All subcommands honour `PTB_FARM_DIR` and the shared `--farm-dir
@@ -29,6 +33,12 @@ use serde::{json, Map, Value};
 
 fn main() {
     let mut args: Vec<String> = std::env::args().collect();
+    // `workers` talks to a running ptb-serve over HTTP and needs no
+    // farm store of its own — handle it before the farm-open gate.
+    if args.get(1).map(String::as_str) == Some("workers") {
+        workers_cmd(&args);
+        return;
+    }
     let runner = Runner::from_env_args(&mut args);
     let Some(farm) = &runner.farm else {
         eprintln!("error: no farm available (PTB_NO_CACHE set, or store unopenable)");
@@ -196,9 +206,110 @@ fn main() {
             }
         }
         other => {
-            eprintln!("error: unknown subcommand {other:?} (status|resume|verify|gc|migrate)");
+            eprintln!(
+                "error: unknown subcommand {other:?} (status|resume|verify|gc|migrate|workers)"
+            );
             std::process::exit(2);
         }
+    }
+}
+
+/// `workers`: GET `/v1/workers` from a running `ptb-serve` and print
+/// the fleet — live workers and outstanding leases. `--json` passes
+/// the server's object through verbatim.
+fn workers_cmd(args: &[String]) {
+    let addr = args
+        .iter()
+        .position(|a| a == "--addr")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "127.0.0.1:7878".to_string());
+    let sock: std::net::SocketAddr = match addr.parse() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: bad --addr {addr:?}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let (status, body) = match ptb_serve::http_call(sock, "GET", "/v1/workers", None) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: cannot reach ptb-serve at {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    if status != 200 {
+        eprintln!("error: GET /v1/workers: HTTP {status}: {body}");
+        std::process::exit(1);
+    }
+    if args.iter().any(|a| a == "--json") {
+        println!("{body}");
+        return;
+    }
+    let v = match json::parse(&body) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: bad /v1/workers JSON: {e}");
+            std::process::exit(1);
+        }
+    };
+    let arr = |key: &str| -> Vec<Value> {
+        v.as_object()
+            .and_then(|o| o.get(key))
+            .and_then(|x| match x {
+                Value::Array(a) => Some(a.clone()),
+                _ => None,
+            })
+            .unwrap_or_default()
+    };
+    let field = |item: &Value, key: &str| -> String {
+        item.as_object()
+            .and_then(|o| o.get(key))
+            .map(|x| match x {
+                Value::Str(s) => s.clone(),
+                other => json::to_string(other),
+            })
+            .unwrap_or_else(|| "-".into())
+    };
+    let remote_active = v
+        .as_object()
+        .and_then(|o| o.get("remote_active"))
+        .and_then(Value::as_bool)
+        .unwrap_or(false);
+    let workers = arr("workers");
+    println!(
+        "fleet at {addr}: {} workers ({})",
+        workers.len(),
+        if remote_active {
+            "remote execution active"
+        } else {
+            "local-only"
+        }
+    );
+    for w in &workers {
+        println!(
+            "  {} live={} last_seen={}ms claimed={} completed={} failed={}",
+            field(w, "name"),
+            field(w, "live"),
+            field(w, "last_seen_ms"),
+            field(w, "claimed"),
+            field(w, "completed"),
+            field(w, "failed")
+        );
+    }
+    let leases = arr("leases");
+    println!("leases: {}", leases.len());
+    for l in &leases {
+        println!(
+            "  {} -> {} expires_in={}ms heartbeats={}",
+            {
+                let k = field(l, "key");
+                k[..12.min(k.len())].to_string()
+            },
+            field(l, "worker"),
+            field(l, "expires_in_ms"),
+            field(l, "heartbeats")
+        );
     }
 }
 

@@ -217,6 +217,15 @@ impl Journal {
         Ok(total)
     }
 
+    /// Best-effort writability probe: re-open the journal path for
+    /// appending and report whether that succeeded. Used by liveness
+    /// checks (`/healthz`) — a farm whose journal can no longer be
+    /// opened cannot record crash-recovery information, so a server in
+    /// that state should stop accepting work.
+    pub fn probe_writable(&self) -> bool {
+        self.io.open_append(&self.path).is_ok()
+    }
+
     /// Reset the journal at `path` to empty (used once recovery
     /// information is no longer live).
     pub fn truncate(path: impl AsRef<Path>) -> Result<(), FarmError> {

@@ -576,6 +576,44 @@ impl Farm {
         Ok((ok, dropped))
     }
 
+    /// Persist a report computed *outside* this process (a remote
+    /// fleet worker) under `key`, with the same verification the local
+    /// path gets: the key must match the job's content address (the
+    /// store's own `put` additionally embeds and re-checks the full
+    /// job), and the write is atomic and round-trip-verified. Counts
+    /// toward `farm.completed` and appends the journal `done` record,
+    /// exactly like a local completion.
+    ///
+    /// Transient store faults are returned as-is (`FarmError` with
+    /// `transient() == true`) so the caller can requeue the job instead
+    /// of losing the result.
+    pub fn commit_remote(
+        &self,
+        key: &str,
+        job: &FarmJob,
+        report: &RunReport,
+    ) -> Result<(), FarmError> {
+        if job.key() != key {
+            return Err(FarmError::BadKey {
+                key: format!("{key} does not address the supplied job"),
+            });
+        }
+        self.store.put(key, job, report)?;
+        self.stats.completed.incr();
+        if let Err(e) = self.journal.done(key) {
+            // Same contract as the local path: a lost `done` record is
+            // benign (resume re-checks the store first).
+            eprintln!("warning: journal write failed: {e}");
+        }
+        Ok(())
+    }
+
+    /// Whether the journal file can still be opened for appending —
+    /// the liveness signal behind `/healthz`.
+    pub fn journal_writable(&self) -> bool {
+        self.journal.probe_writable()
+    }
+
     /// Store lookup with integrity handling: corrupt or stale entries
     /// are counted, removed, and reported as a miss.
     fn lookup(&self, key: &str, job: &FarmJob) -> Option<RunReport> {

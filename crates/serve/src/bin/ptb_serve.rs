@@ -4,6 +4,8 @@
 //! ptb_serve [--addr HOST:PORT] [--farm-dir PATH] [--workers N]
 //!           [--queue N] [--sim-threads N] [--job-timeout SECS]
 //!           [--store-format json|bin]
+//!           [--lease-ttl-ms N] [--reaper-tick-ms N] [--max-claims N]
+//!           [--batch-ttl SECS] [--worker-grace-ms N] [--no-local]
 //! ```
 //!
 //! `--farm-dir` defaults to `PTB_FARM_DIR`, then `target/farm`. Fault
@@ -29,7 +31,9 @@ fn main() {
     if args.iter().any(|a| a == "--help" || a == "-h") {
         println!(
             "usage: ptb_serve [--addr HOST:PORT] [--farm-dir PATH] [--workers N] \
-             [--queue N] [--sim-threads N] [--job-timeout SECS] [--store-format json|bin]"
+             [--queue N] [--sim-threads N] [--job-timeout SECS] [--store-format json|bin] \
+             [--lease-ttl-ms N] [--reaper-tick-ms N] [--max-claims N] [--batch-ttl SECS] \
+             [--worker-grace-ms N] [--no-local]"
         );
         return;
     }
@@ -51,6 +55,25 @@ fn main() {
     }
     if let Some(secs) = flag(&args, "--job-timeout").and_then(|v| v.parse::<u64>().ok()) {
         serve_cfg.job_timeout = (secs > 0).then(|| Duration::from_secs(secs));
+    }
+    if let Some(ms) = flag(&args, "--lease-ttl-ms").and_then(|v| v.parse::<u64>().ok()) {
+        serve_cfg.lease_default_ttl = Duration::from_millis(ms);
+        serve_cfg.lease_max_ttl = serve_cfg.lease_max_ttl.max(serve_cfg.lease_default_ttl);
+    }
+    if let Some(ms) = flag(&args, "--reaper-tick-ms").and_then(|v| v.parse::<u64>().ok()) {
+        serve_cfg.reaper_tick = Duration::from_millis(ms.max(1));
+    }
+    if let Some(n) = flag(&args, "--max-claims").and_then(|v| v.parse().ok()) {
+        serve_cfg.max_claims = n;
+    }
+    if let Some(secs) = flag(&args, "--batch-ttl").and_then(|v| v.parse::<u64>().ok()) {
+        serve_cfg.batch_ttl = Duration::from_secs(secs);
+    }
+    if let Some(ms) = flag(&args, "--worker-grace-ms").and_then(|v| v.parse::<u64>().ok()) {
+        serve_cfg.worker_grace = Duration::from_millis(ms);
+    }
+    if args.iter().any(|a| a == "--no-local") {
+        serve_cfg.local_execution = false;
     }
 
     let format = flag(&args, "--store-format")

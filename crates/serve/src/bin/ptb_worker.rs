@@ -1,0 +1,275 @@
+//! Pull-based fleet worker for `ptb-serve`.
+//!
+//! ```text
+//! ptb_worker --addr HOST:PORT [--name NAME] [--ttl-ms N] [--poll-ms N]
+//!            [--max-jobs N] [--idle-exit SECS] [--job-timeout SECS]
+//!            [--chaos RATE] [--chaos-seed N] [--hold-ms N]
+//! ```
+//!
+//! The worker claims leased jobs from `POST /v1/work/claim`, heartbeats
+//! every `ttl/3` while simulating, and uploads the `RunReport` to
+//! `/v1/work/{key}/complete` (or a typed fault to `/fail`). It holds no
+//! state the server cannot reconstruct: killing a worker at any point
+//! only delays its leased job until the server's reaper requeues it.
+//!
+//! `--chaos RATE` wraps every HTTP call in the seeded [`ChaosNet`]
+//! transport (dropped/duplicated requests, truncated responses,
+//! injected latency, mid-upload disconnects) — the same determinism
+//! contract as the farm's `ChaosIo`. `--hold-ms` sleeps between claim
+//! and simulate; tests use it to SIGKILL a worker that provably holds
+//! a lease.
+
+use ptb_farm::{FarmJob, JobFault};
+use ptb_serve::{ChaosNet, NetChaosConfig, RealNet, Transport};
+use serde::{json, Deserialize, Map, Serialize, Value};
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn obj_str<'a>(v: &'a Value, key: &str) -> Option<&'a str> {
+    v.as_object().and_then(|o| o.get(key)).and_then(|v| {
+        if let Value::Str(s) = v {
+            Some(s.as_str())
+        } else {
+            None
+        }
+    })
+}
+
+fn obj_u64(v: &Value, key: &str) -> Option<u64> {
+    v.as_object()
+        .and_then(|o| o.get(key))
+        .and_then(Value::as_u64)
+}
+
+struct Claimed {
+    key: String,
+    job: FarmJob,
+    ttl: Duration,
+}
+
+/// One claim round-trip. `Ok(None)` means the queue is empty.
+fn claim(
+    net: &dyn Transport,
+    addr: SocketAddr,
+    name: &str,
+    ttl_ms: Option<u64>,
+) -> Result<Option<Claimed>, String> {
+    let mut body = Map::new();
+    body.insert("worker".into(), Value::Str(name.to_owned()));
+    if let Some(ms) = ttl_ms {
+        body.insert("ttl_ms".into(), Value::U64(ms));
+    }
+    let body = json::to_string(&Value::Object(body));
+    let (status, text) = net
+        .call(addr, "POST", "/v1/work/claim", Some(&body))
+        .map_err(|e| format!("claim: {e}"))?;
+    if status != 200 {
+        return Err(format!("claim: HTTP {status}: {text}"));
+    }
+    let v = json::parse(&text).map_err(|e| format!("claim: bad JSON: {e}"))?;
+    let job_v = match v.as_object().and_then(|o| o.get("job")) {
+        Some(Value::Null) | None => return Ok(None),
+        Some(j) => j,
+    };
+    let key = obj_str(&v, "key").ok_or("claim: missing key")?.to_owned();
+    let job = FarmJob::from_value(job_v).map_err(|e| format!("claim: bad job: {e}"))?;
+    let ttl = Duration::from_millis(obj_u64(&v, "ttl_ms").unwrap_or(10_000));
+    Ok(Some(Claimed { key, job, ttl }))
+}
+
+/// Upload the report; retries on transport errors and 503 (another
+/// upload of the same key in flight). The lease reaper bounds how long
+/// a failed upload can delay the job, so the retry budget is small.
+fn complete(net: &dyn Transport, addr: SocketAddr, name: &str, key: &str, report: &Value) -> bool {
+    let mut body = Map::new();
+    body.insert("worker".into(), Value::Str(name.to_owned()));
+    body.insert("report".into(), report.clone());
+    let body = json::to_string(&Value::Object(body));
+    let path = format!("/v1/work/{key}/complete");
+    for attempt in 0..5u32 {
+        match net.call(addr, "POST", &path, Some(&body)) {
+            Ok((200, _)) => return true,
+            Ok((503, _)) | Err(_) => {
+                std::thread::sleep(Duration::from_millis(50 << attempt));
+            }
+            Ok((status, text)) => {
+                eprintln!("[worker {name}] complete {key}: HTTP {status}: {text}");
+                return false;
+            }
+        }
+    }
+    eprintln!("[worker {name}] complete {key}: gave up after retries (lease will requeue)");
+    false
+}
+
+fn fail(net: &dyn Transport, addr: SocketAddr, name: &str, key: &str, kind: &str, message: &str) {
+    let mut body = Map::new();
+    body.insert("worker".into(), Value::Str(name.to_owned()));
+    body.insert("kind".into(), Value::Str(kind.to_owned()));
+    body.insert("message".into(), Value::Str(message.to_owned()));
+    let body = json::to_string(&Value::Object(body));
+    let path = format!("/v1/work/{key}/fail");
+    for attempt in 0..3u32 {
+        match net.call(addr, "POST", &path, Some(&body)) {
+            Ok((200, _)) | Ok((409, _)) => return,
+            _ => std::thread::sleep(Duration::from_millis(50 << attempt)),
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!(
+            "usage: ptb_worker --addr HOST:PORT [--name NAME] [--ttl-ms N] [--poll-ms N] \
+             [--max-jobs N] [--idle-exit SECS] [--job-timeout SECS] \
+             [--chaos RATE] [--chaos-seed N] [--hold-ms N]"
+        );
+        return;
+    }
+    let addr: SocketAddr = match flag(&args, "--addr").and_then(|a| a.parse().ok()) {
+        Some(a) => a,
+        None => {
+            eprintln!("error: --addr HOST:PORT is required");
+            std::process::exit(2);
+        }
+    };
+    let name = flag(&args, "--name").unwrap_or_else(|| format!("worker-{}", std::process::id()));
+    let ttl_ms = flag(&args, "--ttl-ms").and_then(|v| v.parse::<u64>().ok());
+    let poll = Duration::from_millis(
+        flag(&args, "--poll-ms")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(200),
+    );
+    let max_jobs = flag(&args, "--max-jobs").and_then(|v| v.parse::<u64>().ok());
+    let idle_exit = flag(&args, "--idle-exit")
+        .and_then(|v| v.parse::<u64>().ok())
+        .map(Duration::from_secs);
+    let job_timeout = flag(&args, "--job-timeout")
+        .and_then(|v| v.parse::<u64>().ok())
+        .map(Duration::from_secs);
+    let hold = flag(&args, "--hold-ms")
+        .and_then(|v| v.parse::<u64>().ok())
+        .map(Duration::from_millis);
+
+    let chaos_rate = flag(&args, "--chaos")
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(0.0);
+    let chaos: Option<Arc<ChaosNet>> = (chaos_rate > 0.0).then(|| {
+        let seed = flag(&args, "--chaos-seed")
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(0);
+        eprintln!("[worker {name}] NET CHAOS: fault rate {chaos_rate}, seed {seed}");
+        Arc::new(ChaosNet::new(NetChaosConfig::uniform(seed, chaos_rate)))
+    });
+    let net: Arc<dyn Transport> = match &chaos {
+        Some(c) => c.clone(),
+        None => Arc::new(RealNet),
+    };
+
+    eprintln!("[worker {name}] pulling from http://{addr}");
+    let mut done = 0u64;
+    let mut idle_since = Instant::now();
+    loop {
+        if max_jobs.is_some_and(|m| done >= m) {
+            eprintln!("[worker {name}] --max-jobs reached after {done} jobs");
+            break;
+        }
+        let claimed = match claim(net.as_ref(), addr, &name, ttl_ms) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("[worker {name}] {e}");
+                std::thread::sleep(poll);
+                continue;
+            }
+        };
+        let Some(Claimed { key, job, ttl }) = claimed else {
+            if idle_exit.is_some_and(|d| idle_since.elapsed() >= d) {
+                eprintln!("[worker {name}] idle for {:?}, exiting", idle_exit.unwrap());
+                break;
+            }
+            std::thread::sleep(poll);
+            continue;
+        };
+        idle_since = Instant::now();
+        eprintln!("[worker {name}] claimed {key} ({})", job.label());
+        if let Some(h) = hold {
+            // Test hook: provably holding a lease while killable.
+            std::thread::sleep(h);
+        }
+
+        // Heartbeat at ttl/3 until the job settles; a 409 means the
+        // lease is gone (expired or reassigned) — keep working anyway,
+        // the server accepts correct results from expired leases.
+        let hb_stop = Arc::new(AtomicBool::new(false));
+        let hb = {
+            let stop = hb_stop.clone();
+            let net = net.clone();
+            let name = name.clone();
+            let key = key.clone();
+            let interval = ttl / 3;
+            std::thread::spawn(move || {
+                let body = json::to_string(&Value::Object({
+                    let mut m = Map::new();
+                    m.insert("worker".into(), Value::Str(name.clone()));
+                    m
+                }));
+                loop {
+                    let deadline = Instant::now() + interval;
+                    while Instant::now() < deadline {
+                        if stop.load(Ordering::Relaxed) {
+                            return;
+                        }
+                        std::thread::sleep(Duration::from_millis(20));
+                    }
+                    let path = format!("/v1/work/{key}/heartbeat");
+                    match net.call(addr, "POST", &path, Some(&body)) {
+                        Ok((200, _)) => {}
+                        Ok((409, _)) => {
+                            eprintln!("[worker {name}] lease on {key} lost");
+                            return;
+                        }
+                        _ => {} // transient; the next beat may land
+                    }
+                }
+            })
+        };
+
+        let deadline = job_timeout.map(|d| Instant::now() + d);
+        let outcome = job.try_simulate(deadline);
+        hb_stop.store(true, Ordering::Relaxed);
+        hb.join().ok();
+
+        match outcome {
+            Ok(report) => {
+                if complete(net.as_ref(), addr, &name, &key, &report.to_value()) {
+                    done += 1;
+                    eprintln!("[worker {name}] completed {key} ({done} total)");
+                }
+            }
+            Err(fault) => {
+                let (kind, msg) = match &fault {
+                    JobFault::Transient(m) => ("transient", m.as_str()),
+                    JobFault::Fatal(m) => ("fatal", m.as_str()),
+                    JobFault::Timeout(m) => ("timeout", m.as_str()),
+                };
+                eprintln!("[worker {name}] {key} failed ({kind}): {msg}");
+                fail(net.as_ref(), addr, &name, &key, kind, msg);
+            }
+        }
+    }
+    if let Some(c) = &chaos {
+        for (k, v) in c.counters() {
+            eprintln!("[worker {name}] {k} = {v}");
+        }
+    }
+}

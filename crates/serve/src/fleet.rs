@@ -1,0 +1,708 @@
+//! Fleet execution: the lease table behind the `/v1/work/*` endpoints.
+//!
+//! Remote `ptb_worker` processes *pull* work — the server never dials
+//! out. A claim moves a queued job to `Leased(worker)` under a
+//! monotonic-clock TTL; heartbeats extend it; `complete` uploads the
+//! report (verified against the content-addressed key, then committed
+//! through the same store path as local execution); `fail` maps the
+//! worker's typed fault onto the farm's retry/quarantine taxonomy. The
+//! reaper requeues expired leases so a SIGKILLed worker costs latency,
+//! never a result, and `max_claims` bounds how often a poison job can
+//! kill claimants before it is quarantined.
+//!
+//! ## Idempotency and divergence
+//!
+//! Workers retry over a faulty network, so every endpoint tolerates
+//! duplicate delivery. The interesting case is a duplicate `complete`:
+//! the first upload stores the report; a second upload for the same
+//! key is byte-compared against the stored one — identical bytes are
+//! acknowledged as a duplicate (the lost-ACK retry shape), while
+//! *divergent* bytes mean a determinism violation somewhere in the
+//! fleet and are refused, counted, and surfaced in `/v1/status` as a
+//! hard error. A simulation is deterministic; two honest workers can
+//! never disagree.
+//!
+//! ## Races, and why they are safe
+//!
+//! * **Complete vs. local drain**: the committing thread flips the job
+//!   to `Leased` and pulls its key out of the submission queue *inside
+//!   the jobs lock, before the store write*; the scheduler drains only
+//!   keys still `Queued`, so a job cannot simultaneously run locally
+//!   and commit remotely.
+//! * **Concurrent duplicate completes**: a per-key `completing` guard
+//!   turns the loser into a 503 retry, which then lands in the
+//!   byte-compare path above.
+//! * **Zombie worker after reassignment**: a worker whose lease
+//!   expired (and whose job was reclaimed) may still finish and
+//!   upload. Whoever commits first wins; the other lands in the
+//!   duplicate path. Results are content-addressed, so "first" and
+//!   "second" are byte-identical by construction.
+
+use crate::state::{JobState, ServeState};
+use ptb_core::RunReport;
+use ptb_farm::{FarmJob, JobError, StoreLookup};
+use serde::{json, Map, Serialize, Value};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// One live lease.
+#[derive(Debug, Clone)]
+pub struct LeaseRec {
+    /// Worker holding the lease.
+    pub worker: String,
+    /// TTL granted (heartbeats re-arm this much).
+    pub ttl: Duration,
+    /// Monotonic expiry deadline.
+    pub expires: Instant,
+    /// Heartbeats received.
+    pub heartbeats: u64,
+    /// Free-form progress string from the last heartbeat.
+    pub progress: Option<String>,
+}
+
+/// Per-worker bookkeeping, keyed by the worker's self-reported name.
+#[derive(Debug, Clone)]
+pub struct WorkerRec {
+    /// Last contact on any fleet endpoint (monotonic).
+    pub last_seen: Instant,
+    /// Jobs claimed.
+    pub claimed: u64,
+    /// Jobs completed (stored or acknowledged duplicate).
+    pub completed: u64,
+    /// Jobs failed.
+    pub failed: u64,
+}
+
+/// `serve.lease.*` / `fleet.*` counters.
+#[derive(Debug, Default)]
+pub struct FleetMetrics {
+    /// Leases granted.
+    pub claimed: AtomicU64,
+    /// Heartbeats accepted.
+    pub heartbeats: AtomicU64,
+    /// Leases expired by the reaper.
+    pub expired: AtomicU64,
+    /// Expired-lease jobs returned to the queue.
+    pub requeued: AtomicU64,
+    /// Divergent duplicate completions (hard errors).
+    pub divergent: AtomicU64,
+    /// Reports stored via remote completion.
+    pub complete_stored: AtomicU64,
+    /// Byte-identical duplicate completions acknowledged.
+    pub complete_duplicate: AtomicU64,
+    /// Completions that arrived while the local executor owned the job.
+    pub complete_raced: AtomicU64,
+    /// Transient remote failures (requeued).
+    pub fail_transient: AtomicU64,
+    /// Fatal remote failures (quarantined).
+    pub fail_fatal: AtomicU64,
+    /// Remote watchdog timeouts (quarantined).
+    pub fail_timeout: AtomicU64,
+    /// Jobs quarantined from the remote path (poison or retries
+    /// exhausted).
+    pub quarantined: AtomicU64,
+}
+
+/// Lease table, worker registry, and divergence ledger.
+#[derive(Default)]
+pub struct FleetState {
+    pub(crate) leases: Mutex<HashMap<String, LeaseRec>>,
+    pub(crate) workers: Mutex<HashMap<String, WorkerRec>>,
+    /// `(key, worker)` pairs whose uploads diverged from stored bytes.
+    pub(crate) divergent: Mutex<Vec<(String, String)>>,
+    /// Keys with a completion commit in flight (concurrency guard).
+    pub(crate) completing: Mutex<HashSet<String>>,
+    /// The `fleet.*` metrics.
+    pub metrics: FleetMetrics,
+}
+
+impl FleetState {
+    /// Record contact from `worker`, creating its record on first
+    /// sight, and apply `f` to it.
+    fn note_worker(&self, worker: &str, f: impl FnOnce(&mut WorkerRec)) {
+        let mut workers = self.workers.lock().expect("workers lock");
+        let rec = workers.entry(worker.to_owned()).or_insert(WorkerRec {
+            last_seen: Instant::now(),
+            claimed: 0,
+            completed: 0,
+            failed: 0,
+        });
+        rec.last_seen = Instant::now();
+        f(rec);
+    }
+
+    /// Leases currently live.
+    pub fn lease_count(&self) -> usize {
+        self.leases.lock().expect("leases lock").len()
+    }
+
+    /// Snapshot of the lease table.
+    pub fn leases_snapshot(&self) -> Vec<(String, LeaseRec)> {
+        let leases = self.leases.lock().expect("leases lock");
+        leases.iter().map(|(k, l)| (k.clone(), l.clone())).collect()
+    }
+
+    /// Snapshot of the worker registry.
+    pub fn workers_snapshot(&self) -> Vec<(String, WorkerRec)> {
+        let workers = self.workers.lock().expect("workers lock");
+        workers
+            .iter()
+            .map(|(n, w)| (n.clone(), w.clone()))
+            .collect()
+    }
+
+    /// Keys whose duplicate completions diverged, with the offending
+    /// worker.
+    pub fn divergent_snapshot(&self) -> Vec<(String, String)> {
+        self.divergent.lock().expect("divergent lock").clone()
+    }
+
+    /// Export the fleet counters into `c`.
+    pub fn fill_counters(&self, c: &mut ptb_obs::CounterRegistry) {
+        let m = &self.metrics;
+        c.set(
+            "serve.lease.claimed",
+            m.claimed.load(Ordering::Relaxed) as f64,
+        );
+        c.set(
+            "serve.lease.heartbeats",
+            m.heartbeats.load(Ordering::Relaxed) as f64,
+        );
+        c.set(
+            "serve.lease.expired",
+            m.expired.load(Ordering::Relaxed) as f64,
+        );
+        c.set(
+            "serve.lease.requeued",
+            m.requeued.load(Ordering::Relaxed) as f64,
+        );
+        c.set(
+            "serve.lease.divergent",
+            m.divergent.load(Ordering::Relaxed) as f64,
+        );
+        c.set("serve.lease.active", self.lease_count() as f64);
+        c.set(
+            "fleet.complete.stored",
+            m.complete_stored.load(Ordering::Relaxed) as f64,
+        );
+        c.set(
+            "fleet.complete.duplicate",
+            m.complete_duplicate.load(Ordering::Relaxed) as f64,
+        );
+        c.set(
+            "fleet.complete.raced",
+            m.complete_raced.load(Ordering::Relaxed) as f64,
+        );
+        c.set(
+            "fleet.fail.transient",
+            m.fail_transient.load(Ordering::Relaxed) as f64,
+        );
+        c.set(
+            "fleet.fail.fatal",
+            m.fail_fatal.load(Ordering::Relaxed) as f64,
+        );
+        c.set(
+            "fleet.fail.timeout",
+            m.fail_timeout.load(Ordering::Relaxed) as f64,
+        );
+        c.set(
+            "fleet.quarantined",
+            m.quarantined.load(Ordering::Relaxed) as f64,
+        );
+        c.set(
+            "fleet.workers",
+            self.workers.lock().expect("workers lock").len() as f64,
+        );
+    }
+}
+
+/// How a `complete` upload resolved.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompleteOutcome {
+    /// First completion: report verified and stored.
+    Stored,
+    /// Byte-identical to the already-stored report (lost-ACK retry).
+    Duplicate,
+    /// Diverges from the already-stored report — a determinism
+    /// violation, refused and surfaced in `/v1/status`.
+    Divergent,
+    /// The local executor owns the job right now; the upload is
+    /// acknowledged but discarded (the local result will land).
+    RacedLocal,
+    /// Transient server-side trouble; the worker should retry.
+    Retry(String),
+    /// The upload is malformed or does not answer for this key.
+    Invalid(String),
+    /// The report could not be persisted (non-transient store fault).
+    StoreError(String),
+}
+
+/// How a `fail` report resolved.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FailOutcome {
+    /// Transient fault under the retry budget: requeued.
+    Requeued {
+        /// Remote attempts consumed so far.
+        attempts: u32,
+    },
+    /// Retries exhausted or the fault was fatal: quarantined to
+    /// `failed.jsonl`.
+    Quarantined,
+}
+
+/// Why a fleet request was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FleetRefusal {
+    /// The caller does not hold the lease (expired, reassigned, or
+    /// never granted). Maps to 409.
+    LeaseLost,
+    /// The request itself is malformed. Maps to 400.
+    Bad(String),
+}
+
+impl ServeState {
+    /// True when at least one fleet worker has been heard from within
+    /// `worker_grace` — the signal for the local scheduler to hold
+    /// back.
+    pub fn remote_active(&self) -> bool {
+        let grace = self.cfg.worker_grace;
+        let workers = self.fleet.workers.lock().expect("workers lock");
+        workers.values().any(|w| w.last_seen.elapsed() < grace)
+    }
+
+    /// Whether the local scheduler may take work right now.
+    pub(crate) fn local_may_run(&self) -> bool {
+        self.cfg.local_execution && !self.remote_active()
+    }
+
+    /// Lease the oldest queued job to `worker`. `None` when the queue
+    /// has nothing claimable. The granted TTL is the requested one
+    /// clamped to `lease_max_ttl` (default `lease_default_ttl`).
+    pub fn claim(
+        &self,
+        worker: &str,
+        requested_ttl: Option<Duration>,
+    ) -> Option<(String, FarmJob, Duration)> {
+        let ttl = requested_ttl
+            .unwrap_or(self.cfg.lease_default_ttl)
+            .min(self.cfg.lease_max_ttl);
+        self.fleet.note_worker(worker, |_| {});
+        loop {
+            let key = self.queue.lock().expect("queue lock").pop_front()?;
+            let job = {
+                let mut jobs = self.jobs.lock().expect("jobs lock");
+                match jobs.get_mut(&key) {
+                    Some(rec) if rec.state == JobState::Queued => {
+                        rec.state = JobState::Leased(worker.to_owned());
+                        rec.claims += 1;
+                        Some(rec.job.clone())
+                    }
+                    // Settled or reclaimed while queued: skip the stale
+                    // queue entry and keep looking.
+                    _ => None,
+                }
+            };
+            let Some(job) = job else { continue };
+            self.fleet.leases.lock().expect("leases lock").insert(
+                key.clone(),
+                LeaseRec {
+                    worker: worker.to_owned(),
+                    ttl,
+                    expires: Instant::now() + ttl,
+                    heartbeats: 0,
+                    progress: None,
+                },
+            );
+            self.fleet.metrics.claimed.fetch_add(1, Ordering::Relaxed);
+            self.fleet.note_worker(worker, |w| w.claimed += 1);
+            // Journal the hand-off (duplicate submit lines are ignored
+            // by replay) so a server crash still knows what was owed.
+            self.farm.record_pending(std::slice::from_ref(&job)).ok();
+            return Some((key, job, ttl));
+        }
+    }
+
+    /// Extend `worker`'s lease on `key` by its TTL. Returns the TTL on
+    /// success; `LeaseLost` when the lease expired or moved on.
+    pub fn heartbeat(
+        &self,
+        worker: &str,
+        key: &str,
+        progress: Option<String>,
+    ) -> Result<Duration, FleetRefusal> {
+        self.fleet.note_worker(worker, |_| {});
+        let mut leases = self.fleet.leases.lock().expect("leases lock");
+        match leases.get_mut(key) {
+            Some(l) if l.worker == worker => {
+                l.expires = Instant::now() + l.ttl;
+                l.heartbeats += 1;
+                if progress.is_some() {
+                    l.progress = progress;
+                }
+                self.fleet
+                    .metrics
+                    .heartbeats
+                    .fetch_add(1, Ordering::Relaxed);
+                Ok(l.ttl)
+            }
+            _ => Err(FleetRefusal::LeaseLost),
+        }
+    }
+
+    /// Accept a completed report for `key` from `worker`.
+    ///
+    /// Accepted *regardless of lease state* — a worker whose lease
+    /// expired mid-upload still carries a correct, content-addressed
+    /// result, and refusing it would only waste work. Idempotency and
+    /// divergence are resolved by byte comparison (see module docs).
+    pub fn complete(&self, worker: &str, key: &str, report: RunReport) -> CompleteOutcome {
+        self.fleet.note_worker(worker, |_| {});
+        {
+            let mut completing = self.fleet.completing.lock().expect("completing lock");
+            if !completing.insert(key.to_owned()) {
+                return CompleteOutcome::Retry(
+                    "another completion for this key is in flight".into(),
+                );
+            }
+        }
+        let out = self.complete_inner(worker, key, report);
+        self.fleet
+            .completing
+            .lock()
+            .expect("completing lock")
+            .remove(key);
+        match &out {
+            CompleteOutcome::Stored => {
+                self.fleet
+                    .metrics
+                    .complete_stored
+                    .fetch_add(1, Ordering::Relaxed);
+                self.fleet.note_worker(worker, |w| w.completed += 1);
+            }
+            CompleteOutcome::Duplicate => {
+                self.fleet
+                    .metrics
+                    .complete_duplicate
+                    .fetch_add(1, Ordering::Relaxed);
+                self.fleet.note_worker(worker, |w| w.completed += 1);
+            }
+            CompleteOutcome::RacedLocal => {
+                self.fleet
+                    .metrics
+                    .complete_raced
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            CompleteOutcome::Divergent => {
+                self.fleet.metrics.divergent.fetch_add(1, Ordering::Relaxed);
+                self.fleet
+                    .divergent
+                    .lock()
+                    .expect("divergent lock")
+                    .push((key.to_owned(), worker.to_owned()));
+            }
+            _ => {}
+        }
+        out
+    }
+
+    fn complete_inner(&self, worker: &str, key: &str, report: RunReport) -> CompleteOutcome {
+        let job = {
+            let jobs = self.jobs.lock().expect("jobs lock");
+            match jobs.get(key) {
+                Some(rec) => rec.job.clone(),
+                None => return CompleteOutcome::Invalid(format!("unknown job {key:?}")),
+            }
+        };
+        // Cheap identity screen before the store's own embedded-job
+        // verification: the upload must at least claim to be this job.
+        if report.benchmark != job.bench.name()
+            || report.n_cores != job.config.n_cores
+            || report.mechanism != job.config.mechanism.label()
+        {
+            return CompleteOutcome::Invalid(format!(
+                "report identifies as {}/{}/{}c but key {key} addresses {}",
+                report.benchmark,
+                report.mechanism,
+                report.n_cores,
+                job.label()
+            ));
+        }
+        // Take ownership inside the jobs lock, before the store write:
+        // flipping to Leased(us) and unlinking the queue entry closes
+        // the race with the local scheduler's drain.
+        {
+            let mut jobs = self.jobs.lock().expect("jobs lock");
+            let rec = jobs.get_mut(key).expect("checked above");
+            match rec.state.clone() {
+                JobState::Done => {
+                    drop(jobs);
+                    return self.compare_against_store(key, &job, &report);
+                }
+                JobState::Running => return CompleteOutcome::RacedLocal,
+                JobState::Queued | JobState::Leased(_) | JobState::Failed(_) => {
+                    rec.state = JobState::Leased(worker.to_owned());
+                    drop(jobs);
+                    let mut queue = self.queue.lock().expect("queue lock");
+                    queue.retain(|k| k != key);
+                }
+            }
+        }
+        match self.farm.commit_remote(key, &job, &report) {
+            Ok(()) => {
+                let mut jobs = self.jobs.lock().expect("jobs lock");
+                if let Some(rec) = jobs.get_mut(key) {
+                    rec.state = JobState::Done;
+                    rec.executed_by = Some(worker.to_owned());
+                }
+                drop(jobs);
+                self.fleet.leases.lock().expect("leases lock").remove(key);
+                self.metrics.completed.fetch_add(1, Ordering::Relaxed);
+                CompleteOutcome::Stored
+            }
+            Err(e) if e.transient() => {
+                // Put the job back; this worker (or any other) retries.
+                let mut jobs = self.jobs.lock().expect("jobs lock");
+                if let Some(rec) = jobs.get_mut(key) {
+                    rec.state = JobState::Queued;
+                }
+                drop(jobs);
+                self.queue
+                    .lock()
+                    .expect("queue lock")
+                    .push_back(key.to_owned());
+                self.wake.notify_all();
+                CompleteOutcome::Retry(format!("store write failed transiently: {e}"))
+            }
+            Err(e) => {
+                let msg = format!("report for {key} cannot be persisted: {e}");
+                let job_err = JobError::Failed {
+                    message: msg.clone(),
+                    attempts: 1,
+                };
+                self.quarantine_remote(key, &job, &job_err);
+                CompleteOutcome::StoreError(msg)
+            }
+        }
+    }
+
+    /// Byte-compare an uploaded report against the stored one.
+    fn compare_against_store(
+        &self,
+        key: &str,
+        job: &FarmJob,
+        report: &RunReport,
+    ) -> CompleteOutcome {
+        match self.farm.store().get(key, job) {
+            StoreLookup::Hit(stored) => {
+                let stored_bytes = json::to_string(&stored.to_value());
+                let uploaded_bytes = json::to_string(&report.to_value());
+                if stored_bytes == uploaded_bytes {
+                    CompleteOutcome::Duplicate
+                } else {
+                    CompleteOutcome::Divergent
+                }
+            }
+            // Done in the registry but not readable from the store
+            // (evicted or corrupt): treat the upload as authoritative
+            // by requeueing the key for a clean re-commit.
+            _ => CompleteOutcome::Retry("stored report unavailable for comparison".into()),
+        }
+    }
+
+    /// Process a typed failure report from `worker` for `key`.
+    pub fn fail(
+        &self,
+        worker: &str,
+        key: &str,
+        kind: &str,
+        message: &str,
+    ) -> Result<FailOutcome, FleetRefusal> {
+        self.fleet.note_worker(worker, |_| {});
+        // Validate the kind before touching the lease: a malformed
+        // request must not consume it and strand the job.
+        if !matches!(kind, "transient" | "fatal" | "timeout") {
+            return Err(FleetRefusal::Bad(format!(
+                "unknown fault kind {kind:?} (expected transient|fatal|timeout)"
+            )));
+        }
+        // Only the lease holder may fail a job: a zombie's stale
+        // verdict must not quarantine work that has moved on.
+        {
+            let mut leases = self.fleet.leases.lock().expect("leases lock");
+            match leases.get(key) {
+                Some(l) if l.worker == worker => {
+                    leases.remove(key);
+                }
+                _ => return Err(FleetRefusal::LeaseLost),
+            }
+        }
+        self.fleet.note_worker(worker, |w| w.failed += 1);
+        let job = {
+            let jobs = self.jobs.lock().expect("jobs lock");
+            match jobs.get(key) {
+                Some(rec) => rec.job.clone(),
+                None => return Err(FleetRefusal::Bad(format!("unknown job {key:?}"))),
+            }
+        };
+        let label = job.label();
+        match kind {
+            "transient" => {
+                self.fleet
+                    .metrics
+                    .fail_transient
+                    .fetch_add(1, Ordering::Relaxed);
+                let (attempts, requeue) = {
+                    let mut jobs = self.jobs.lock().expect("jobs lock");
+                    let rec = jobs.get_mut(key).expect("checked above");
+                    rec.remote_attempts += 1;
+                    let attempts = rec.remote_attempts;
+                    let requeue = attempts < self.cfg.remote_retry_max;
+                    // Only requeue if the key is still ours: a zombie
+                    // completion may have taken over meanwhile.
+                    if requeue && rec.state == JobState::Leased(worker.to_owned()) {
+                        rec.state = JobState::Queued;
+                    }
+                    (attempts, requeue)
+                };
+                if requeue {
+                    self.queue
+                        .lock()
+                        .expect("queue lock")
+                        .push_back(key.to_owned());
+                    self.wake.notify_all();
+                    Ok(FailOutcome::Requeued { attempts })
+                } else {
+                    let err = JobError::Failed {
+                        message: format!("{label}: {message} (remote retries exhausted)"),
+                        attempts,
+                    };
+                    self.quarantine_remote(key, &job, &err);
+                    Ok(FailOutcome::Quarantined)
+                }
+            }
+            "fatal" => {
+                self.fleet
+                    .metrics
+                    .fail_fatal
+                    .fetch_add(1, Ordering::Relaxed);
+                let err = JobError::Failed {
+                    message: format!("{label}: {message}"),
+                    attempts: 1,
+                };
+                self.quarantine_remote(key, &job, &err);
+                Ok(FailOutcome::Quarantined)
+            }
+            "timeout" => {
+                self.fleet
+                    .metrics
+                    .fail_timeout
+                    .fetch_add(1, Ordering::Relaxed);
+                let err = JobError::TimedOut {
+                    message: format!("{label}: {message}"),
+                };
+                self.quarantine_remote(key, &job, &err);
+                Ok(FailOutcome::Quarantined)
+            }
+            _ => unreachable!("kind validated above"),
+        }
+    }
+
+    fn quarantine_remote(&self, key: &str, job: &FarmJob, err: &JobError) {
+        self.fleet
+            .metrics
+            .quarantined
+            .fetch_add(1, Ordering::Relaxed);
+        self.metrics.failed.fetch_add(1, Ordering::Relaxed);
+        if let Err(qe) = self.farm.quarantine_job(job, err) {
+            eprintln!("warning: cannot quarantine {key}: {qe}");
+        }
+        let mut jobs = self.jobs.lock().expect("jobs lock");
+        if let Some(rec) = jobs.get_mut(key) {
+            // Never clobber a result that landed meanwhile.
+            if rec.state != JobState::Done {
+                rec.state = JobState::Failed(err.to_string());
+            }
+        }
+    }
+
+    /// One reaper pass over the lease table: expired leases are
+    /// removed, their jobs requeued — or quarantined once a key has
+    /// burned `max_claims` claims (a job that keeps killing or
+    /// stalling its claimants is poison, not unlucky).
+    pub fn reap_expired_leases(&self) {
+        let now = Instant::now();
+        let expired: Vec<(String, String)> = {
+            let mut leases = self.fleet.leases.lock().expect("leases lock");
+            let gone: Vec<(String, String)> = leases
+                .iter()
+                .filter(|(_, l)| l.expires <= now)
+                .map(|(k, l)| (k.clone(), l.worker.clone()))
+                .collect();
+            for (k, _) in &gone {
+                leases.remove(k);
+            }
+            gone
+        };
+        for (key, worker) in expired {
+            self.fleet.metrics.expired.fetch_add(1, Ordering::Relaxed);
+            eprintln!("[fleet] lease on {key} (worker {worker}) expired");
+            let action = {
+                let mut jobs = self.jobs.lock().expect("jobs lock");
+                match jobs.get_mut(&key) {
+                    // Only act while the key is still leased to the
+                    // expired holder; anything else means the job
+                    // already moved on (completed, failed, re-leased).
+                    Some(rec) if rec.state == JobState::Leased(worker.clone()) => {
+                        if rec.claims >= self.cfg.max_claims {
+                            Some((rec.job.clone(), rec.claims))
+                        } else {
+                            rec.state = JobState::Queued;
+                            None
+                        }
+                    }
+                    _ => continue,
+                }
+            };
+            match action {
+                Some((job, claims)) => {
+                    let err = JobError::Failed {
+                        message: format!(
+                            "{}: lease expired {claims} times; claimants died or stalled",
+                            job.label()
+                        ),
+                        attempts: claims,
+                    };
+                    self.quarantine_remote(&key, &job, &err);
+                }
+                None => {
+                    self.fleet.metrics.requeued.fetch_add(1, Ordering::Relaxed);
+                    self.queue.lock().expect("queue lock").push_back(key);
+                    self.wake.notify_all();
+                }
+            }
+        }
+    }
+
+    /// Prune worker records not heard from for `idle`; returns how
+    /// many were dropped (used by `farm_ctl workers --prune` via the
+    /// status endpoint — the registry itself is bounded by fleet size,
+    /// so this is cosmetic, not a leak fix).
+    pub fn prune_workers(&self, idle: Duration) -> usize {
+        let mut workers = self.fleet.workers.lock().expect("workers lock");
+        let before = workers.len();
+        workers.retain(|_, w| w.last_seen.elapsed() < idle);
+        before - workers.len()
+    }
+}
+
+/// Claim-response wire form: `{"key", "job", "ttl_ms"}`. Kept here so
+/// the API layer, the worker binary, and the tests agree on one shape.
+pub fn claim_response_value(key: &str, job: &FarmJob, ttl: Duration) -> Value {
+    let mut m = Map::new();
+    m.insert("key".into(), Value::Str(key.to_owned()));
+    m.insert("job".into(), job.to_value());
+    m.insert("ttl_ms".into(), Value::U64(ttl.as_millis() as u64));
+    Value::Object(m)
+}

@@ -55,15 +55,40 @@ impl Request {
     }
 }
 
+/// A response payload: either buffered bytes (the common case, sent
+/// with a `Content-Length`) or a streaming writer invoked directly on
+/// the connection (no `Content-Length`; the peer reads until the server
+/// closes). Streaming bodies exist for NDJSON endpoints like
+/// `/v1/metrics/stream`, where a write error means the client is gone
+/// and the producer must stop instead of buffering into the void.
+pub enum Body {
+    /// Fully materialised body bytes.
+    Bytes(Vec<u8>),
+    /// Writer called with the live connection after the head is sent.
+    Stream(StreamProducer),
+}
+
+/// The boxed writer behind [`Body::Stream`].
+pub type StreamProducer = Box<dyn FnOnce(&mut dyn Write) -> io::Result<()> + Send>;
+
+impl std::fmt::Debug for Body {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Body::Bytes(b) => write!(f, "Bytes({} bytes)", b.len()),
+            Body::Stream(_) => f.write_str("Stream(..)"),
+        }
+    }
+}
+
 /// A response about to be written: status, content type, body.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Response {
     /// HTTP status code.
     pub status: u16,
     /// `Content-Type` header value.
     pub content_type: &'static str,
-    /// Response body bytes.
-    pub body: Vec<u8>,
+    /// Response body.
+    pub body: Body,
 }
 
 impl Response {
@@ -72,7 +97,23 @@ impl Response {
         Response {
             status,
             content_type: "application/json",
-            body: body.into_bytes(),
+            body: Body::Bytes(body.into_bytes()),
+        }
+    }
+
+    /// A streaming response: `write` is handed the connection after the
+    /// head goes out. No `Content-Length` is sent — the client reads to
+    /// EOF — so a write error (peer disconnected) simply aborts the
+    /// producer.
+    pub fn stream(
+        status: u16,
+        content_type: &'static str,
+        write: impl FnOnce(&mut dyn Write) -> io::Result<()> + Send + 'static,
+    ) -> Response {
+        Response {
+            status,
+            content_type,
+            body: Body::Stream(Box::new(write)),
         }
     }
 
@@ -93,24 +134,50 @@ impl Response {
             400 => "Bad Request",
             404 => "Not Found",
             405 => "Method Not Allowed",
+            409 => "Conflict",
             500 => "Internal Server Error",
+            502 => "Bad Gateway",
             503 => "Service Unavailable",
             _ => "Unknown",
         }
     }
 
     /// Serialise onto `stream` (one-shot connection: always closes).
-    pub fn write_to(&self, stream: &mut TcpStream) -> io::Result<()> {
-        let head = format!(
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
-            self.status,
-            self.reason(),
-            self.content_type,
-            self.body.len()
-        );
-        stream.write_all(head.as_bytes())?;
-        stream.write_all(&self.body)?;
-        stream.flush()
+    ///
+    /// Buffered bodies go out with a `Content-Length`; streaming bodies
+    /// omit it (the close delimits the body) and hand the connection to
+    /// the producer, whose first failed write ends the stream.
+    pub fn write_to(self, stream: &mut TcpStream) -> io::Result<()> {
+        let (status, reason) = (self.status, self.reason());
+        match self.body {
+            Body::Bytes(bytes) => {
+                let head = format!(
+                    "HTTP/1.1 {status} {reason}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+                    self.content_type,
+                    bytes.len()
+                );
+                stream.write_all(head.as_bytes())?;
+                stream.write_all(&bytes)?;
+                stream.flush()
+            }
+            Body::Stream(producer) => {
+                let head = format!(
+                    "HTTP/1.1 {status} {reason}\r\nContent-Type: {}\r\nConnection: close\r\n\r\n",
+                    self.content_type,
+                );
+                stream.write_all(head.as_bytes())?;
+                producer(stream)?;
+                stream.flush()
+            }
+        }
+    }
+
+    /// The buffered body bytes, if any (streaming bodies return `None`).
+    pub fn body_bytes(&self) -> Option<&[u8]> {
+        match &self.body {
+            Body::Bytes(b) => Some(b),
+            Body::Stream(_) => None,
+        }
     }
 }
 

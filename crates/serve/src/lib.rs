@@ -11,20 +11,29 @@
 //! Layering:
 //!
 //! * [`http`] — wire plumbing: parsing, bounded worker pool, one-shot
-//!   client;
+//!   client, streaming bodies;
 //! * [`state`] — job registry, submission queue, scheduler thread,
-//!   `serve.*` metrics;
+//!   lease reaper, `serve.*` metrics;
+//! * [`fleet`] — the lease table behind the `/v1/work/*` endpoints
+//!   that remote `ptb_worker` processes pull jobs through;
+//! * [`net`] — the seeded chaos transport fleet workers are tested
+//!   under;
 //! * [`api`] — routes and the JSON protocol.
 //!
-//! [`start`] assembles the three into a running [`ServeHandle`]; the
-//! `ptb_serve` binary is a thin flag-parsing shell around it, and
-//! `ptb_loadgen` drives it under load. See `DESIGN.md` §13.
+//! [`start`] assembles them into a running [`ServeHandle`]; the
+//! `ptb_serve` binary is a thin flag-parsing shell around it,
+//! `ptb_worker` is the pull-based fleet worker, and `ptb_loadgen`
+//! drives the server under load. See `DESIGN.md` §13–§14.
 
 pub mod api;
+pub mod fleet;
 pub mod http;
+pub mod net;
 pub mod state;
 
-pub use http::{http_call, Handler, Request, Response, Server, ServerConfig};
+pub use fleet::{CompleteOutcome, FailOutcome, FleetRefusal, FleetState, LeaseRec, WorkerRec};
+pub use http::{http_call, Body, Handler, Request, Response, Server, ServerConfig};
+pub use net::{ChaosNet, NetChaosConfig, RealNet, Transport};
 pub use state::{
     Disposition, JobRecord, JobState, RequestPhase, ServeConfig, ServeMetrics, ServeState,
 };
@@ -35,10 +44,12 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-/// A running service: HTTP server + scheduler over shared state.
+/// A running service: HTTP server + scheduler + lease reaper over
+/// shared state.
 pub struct ServeHandle {
     server: Server,
     scheduler: Option<JoinHandle<()>>,
+    reaper: Option<JoinHandle<()>>,
     state: Arc<ServeState>,
 }
 
@@ -53,11 +64,15 @@ impl ServeHandle {
         &self.state
     }
 
-    /// Stop the HTTP server, then the scheduler, and join both.
+    /// Stop the HTTP server, then the scheduler and reaper, and join
+    /// all of them.
     pub fn shutdown(mut self) {
         self.server.shutdown();
         self.state.stop();
         if let Some(h) = self.scheduler.take() {
+            h.join().ok();
+        }
+        if let Some(h) = self.reaper.take() {
             h.join().ok();
         }
     }
@@ -72,6 +87,7 @@ pub fn start(
 ) -> io::Result<ServeHandle> {
     let state = Arc::new(ServeState::new(farm, serve_cfg));
     let scheduler = state::spawn_scheduler(state.clone());
+    let reaper = state::spawn_reaper(state.clone());
     let rejected = Arc::new(AtomicU64::new(0));
     let handler: Handler = {
         let state = state.clone();
@@ -82,6 +98,7 @@ pub fn start(
     Ok(ServeHandle {
         server,
         scheduler: Some(scheduler),
+        reaper: Some(reaper),
         state,
     })
 }

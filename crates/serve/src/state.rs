@@ -28,7 +28,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// Scheduler sizing.
+/// Scheduler, lease, and registry sizing.
 #[derive(Debug, Clone, Copy)]
 pub struct ServeConfig {
     /// Worker threads of the simulation executor (independent of the
@@ -38,6 +38,29 @@ pub struct ServeConfig {
     pub job_timeout: Option<Duration>,
     /// Max jobs drained into one executor batch.
     pub batch_max: usize,
+    /// Whether the local scheduler simulates at all (disable to run a
+    /// pure coordinator that only hands work to fleet workers).
+    pub local_execution: bool,
+    /// How recently a fleet worker must have been heard from for the
+    /// local scheduler to hold back and let the fleet drain the queue.
+    /// With no worker contact inside this window the server degrades
+    /// transparently to local-only execution.
+    pub worker_grace: Duration,
+    /// Lease TTL granted when a claim does not request one.
+    pub lease_default_ttl: Duration,
+    /// Upper bound on the TTL a claim or heartbeat may request.
+    pub lease_max_ttl: Duration,
+    /// Period of the lease-reaper thread (also drives batch eviction).
+    pub reaper_tick: Duration,
+    /// Claims a single job may consume across lease expiries before it
+    /// is quarantined as poison.
+    pub max_claims: u32,
+    /// Remote transient-failure retries before a job is quarantined.
+    pub remote_retry_max: u32,
+    /// How long a settled batch stays in the registry before eviction.
+    pub batch_ttl: Duration,
+    /// Max concurrent `/v1/metrics/stream` subscribers.
+    pub max_streams: usize,
 }
 
 impl Default for ServeConfig {
@@ -46,6 +69,15 @@ impl Default for ServeConfig {
             sim_threads: 4,
             job_timeout: Some(Duration::from_secs(300)),
             batch_max: 64,
+            local_execution: true,
+            worker_grace: Duration::from_secs(3),
+            lease_default_ttl: Duration::from_secs(10),
+            lease_max_ttl: Duration::from_secs(120),
+            reaper_tick: Duration::from_millis(250),
+            max_claims: 5,
+            remote_retry_max: 3,
+            batch_ttl: Duration::from_secs(3600),
+            max_streams: 4,
         }
     }
 }
@@ -53,9 +85,11 @@ impl Default for ServeConfig {
 /// Lifecycle of one submitted job.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum JobState {
-    /// Waiting for the scheduler.
+    /// Waiting for the scheduler or a fleet claim.
     Queued,
-    /// Handed to the executor.
+    /// Leased to the named fleet worker.
+    Leased(String),
+    /// Handed to the local executor.
     Running,
     /// Report available in the store.
     Done,
@@ -68,6 +102,7 @@ impl JobState {
     pub fn name(&self) -> &'static str {
         match self {
             JobState::Queued => "queued",
+            JobState::Leased(_) => "leased",
             JobState::Running => "running",
             JobState::Done => "done",
             JobState::Failed(_) => "failed",
@@ -82,6 +117,36 @@ pub struct JobRecord {
     pub job: FarmJob,
     /// Current lifecycle state.
     pub state: JobState,
+    /// Fleet claims this key has consumed (each lease expiry returns
+    /// the job to the queue; past `max_claims` it is quarantined).
+    pub claims: u32,
+    /// Remote transient failures reported for this key.
+    pub remote_attempts: u32,
+    /// Who produced the stored report: `Some("local")` or a fleet
+    /// worker's name. `None` until the job settles (or when it was
+    /// answered straight from a pre-existing store entry).
+    pub executed_by: Option<String>,
+}
+
+impl JobRecord {
+    /// Fresh record in `state` with zeroed fleet bookkeeping.
+    pub fn new(job: FarmJob, state: JobState) -> JobRecord {
+        JobRecord {
+            job,
+            state,
+            claims: 0,
+            remote_attempts: 0,
+            executed_by: None,
+        }
+    }
+}
+
+/// Registry record of one batch: its job keys plus, once every job has
+/// settled, when that happened (the eviction clock).
+#[derive(Debug, Clone)]
+pub(crate) struct BatchRec {
+    pub(crate) keys: Vec<String>,
+    pub(crate) settled_at: Option<Instant>,
 }
 
 /// How a submit resolved one job (also its wire name).
@@ -168,15 +233,19 @@ pub enum RequestPhase {
     Other,
     /// One executor dispatch in the scheduler (covers simulation).
     Execute,
+    /// Fleet work endpoints (`/v1/work/*`: claim, heartbeat,
+    /// complete, fail).
+    Work,
 }
 
 impl RequestPhase {
-    const ALL: [RequestPhase; 5] = [
+    const ALL: [RequestPhase; 6] = [
         RequestPhase::Submit,
         RequestPhase::Poll,
         RequestPhase::Report,
         RequestPhase::Other,
         RequestPhase::Execute,
+        RequestPhase::Work,
     ];
 
     fn name(self) -> &'static str {
@@ -186,6 +255,7 @@ impl RequestPhase {
             RequestPhase::Report => "report",
             RequestPhase::Other => "other",
             RequestPhase::Execute => "execute",
+            RequestPhase::Work => "work",
         }
     }
 
@@ -196,6 +266,7 @@ impl RequestPhase {
             RequestPhase::Report => 2,
             RequestPhase::Other => 3,
             RequestPhase::Execute => 4,
+            RequestPhase::Work => 5,
         }
     }
 }
@@ -221,7 +292,13 @@ pub struct ServeMetrics {
     pub http_requests: AtomicU64,
     /// Responses with status ≥ 400.
     pub http_errors: AtomicU64,
-    latency: [Mutex<LatencyRing>; 5],
+    /// Settled batches evicted from the registry by the TTL sweep.
+    pub batches_evicted: AtomicU64,
+    /// Live `/v1/metrics/stream` subscribers (gauge).
+    pub streams_active: AtomicU64,
+    /// Stream subscriptions refused because the cap was reached.
+    pub streams_rejected: AtomicU64,
+    latency: [Mutex<LatencyRing>; 6],
 }
 
 /// Retained samples per latency ring (per phase).
@@ -239,6 +316,9 @@ impl Default for ServeMetrics {
             failed: AtomicU64::new(0),
             http_requests: AtomicU64::new(0),
             http_errors: AtomicU64::new(0),
+            batches_evicted: AtomicU64::new(0),
+            streams_active: AtomicU64::new(0),
+            streams_rejected: AtomicU64::new(0),
             latency: std::array::from_fn(|_| Mutex::new(LatencyRing::new(LATENCY_WINDOW))),
         }
     }
@@ -262,19 +342,27 @@ impl ServeMetrics {
     }
 }
 
-/// Everything the HTTP handlers and the scheduler share.
+/// Everything the HTTP handlers, the scheduler, the lease reaper, and
+/// the fleet endpoints share.
 pub struct ServeState {
-    farm: Arc<Farm>,
-    cfg: ServeConfig,
-    jobs: Mutex<HashMap<String, JobRecord>>,
-    batches: Mutex<HashMap<String, Vec<String>>>,
+    pub(crate) farm: Arc<Farm>,
+    pub(crate) cfg: ServeConfig,
+    pub(crate) jobs: Mutex<HashMap<String, JobRecord>>,
+    pub(crate) batches: Mutex<HashMap<String, BatchRec>>,
     batch_seq: AtomicU64,
-    queue: Mutex<VecDeque<String>>,
-    wake: Condvar,
-    stop: AtomicBool,
+    pub(crate) queue: Mutex<VecDeque<String>>,
+    pub(crate) wake: Condvar,
+    pub(crate) stop: AtomicBool,
     started: Instant,
+    /// False once the scheduler thread has exited (panic included) —
+    /// flips `/healthz` to 503.
+    pub(crate) scheduler_alive: AtomicBool,
+    /// False once the lease-reaper thread has exited.
+    pub(crate) reaper_alive: AtomicBool,
     /// The `serve.*` metrics.
     pub metrics: ServeMetrics,
+    /// Lease table, worker registry, and `fleet.*` metrics.
+    pub fleet: crate::fleet::FleetState,
 }
 
 impl ServeState {
@@ -290,13 +378,39 @@ impl ServeState {
             wake: Condvar::new(),
             stop: AtomicBool::new(false),
             started: Instant::now(),
+            // Liveness flags start true: a probe racing thread startup
+            // should not report a dying server.
+            scheduler_alive: AtomicBool::new(true),
+            reaper_alive: AtomicBool::new(true),
             metrics: ServeMetrics::default(),
+            fleet: crate::fleet::FleetState::default(),
         }
     }
 
     /// The farm being served.
     pub fn farm(&self) -> &Farm {
         &self.farm
+    }
+
+    /// The serve configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.cfg
+    }
+
+    /// Liveness verdict for `/healthz`: `Ok` while the scheduler and
+    /// reaper threads are running and the journal accepts appends;
+    /// otherwise the reason the server should be restarted.
+    pub fn liveness(&self) -> Result<(), String> {
+        if !self.scheduler_alive.load(Ordering::SeqCst) {
+            return Err("scheduler thread has exited".into());
+        }
+        if !self.reaper_alive.load(Ordering::SeqCst) {
+            return Err("lease reaper thread has exited".into());
+        }
+        if !self.farm.journal_writable() {
+            return Err("journal is not writable".into());
+        }
+        Ok(())
     }
 
     /// Seconds since the state was created.
@@ -354,7 +468,7 @@ impl ServeState {
                             self.metrics.hits.fetch_add(1, Ordering::Relaxed);
                             (JobState::Done, Disposition::Cached)
                         }
-                        JobState::Queued | JobState::Running => {
+                        JobState::Queued | JobState::Leased(_) | JobState::Running => {
                             self.metrics.deduped.fetch_add(1, Ordering::Relaxed);
                             (rec.state.clone(), Disposition::InFlight)
                         }
@@ -368,23 +482,11 @@ impl ServeState {
                     None => {
                         if probed.get(key.as_str()).copied().unwrap_or(false) {
                             self.metrics.hits.fetch_add(1, Ordering::Relaxed);
-                            jobs.insert(
-                                key.clone(),
-                                JobRecord {
-                                    job: job.clone(),
-                                    state: JobState::Done,
-                                },
-                            );
+                            jobs.insert(key.clone(), JobRecord::new(job.clone(), JobState::Done));
                             (JobState::Done, Disposition::Cached)
                         } else {
                             self.metrics.enqueued.fetch_add(1, Ordering::Relaxed);
-                            jobs.insert(
-                                key.clone(),
-                                JobRecord {
-                                    job: job.clone(),
-                                    state: JobState::Queued,
-                                },
-                            );
+                            jobs.insert(key.clone(), JobRecord::new(job.clone(), JobState::Queued));
                             to_enqueue.push(key.clone());
                             (JobState::Queued, Disposition::Enqueued)
                         }
@@ -402,7 +504,10 @@ impl ServeState {
         let id = format!("b{}", self.batch_seq.fetch_add(1, Ordering::Relaxed) + 1);
         self.batches.lock().expect("batches lock").insert(
             id.clone(),
-            resolved.iter().map(|(k, _, _)| k.clone()).collect(),
+            BatchRec {
+                keys: resolved.iter().map(|(k, _, _)| k.clone()).collect(),
+                settled_at: None,
+            },
         );
         (id, resolved)
     }
@@ -413,14 +518,14 @@ impl ServeState {
     }
 
     /// The keys of one batch plus each one's current record, in
-    /// submission order. `None` for an unknown batch id.
+    /// submission order. `None` for an unknown (or evicted) batch id.
     pub fn batch(&self, id: &str) -> Option<Vec<(String, Option<JobRecord>)>> {
         let keys = self
             .batches
             .lock()
             .expect("batches lock")
             .get(id)
-            .cloned()?;
+            .map(|b| b.keys.clone())?;
         let jobs = self.jobs.lock().expect("jobs lock");
         Some(
             keys.into_iter()
@@ -432,20 +537,77 @@ impl ServeState {
         )
     }
 
+    /// Batches still held in the registry.
+    pub fn batch_count(&self) -> usize {
+        self.batches.lock().expect("batches lock").len()
+    }
+
     /// Totals of the job registry by state:
-    /// `(queued, running, done, failed)`.
-    pub fn job_totals(&self) -> (u64, u64, u64, u64) {
+    /// `(queued, leased, running, done, failed)`.
+    pub fn job_totals(&self) -> (u64, u64, u64, u64, u64) {
         let jobs = self.jobs.lock().expect("jobs lock");
-        let mut t = (0, 0, 0, 0);
+        let mut t = (0, 0, 0, 0, 0);
         for rec in jobs.values() {
             match rec.state {
                 JobState::Queued => t.0 += 1,
-                JobState::Running => t.1 += 1,
-                JobState::Done => t.2 += 1,
-                JobState::Failed(_) => t.3 += 1,
+                JobState::Leased(_) => t.1 += 1,
+                JobState::Running => t.2 += 1,
+                JobState::Done => t.3 += 1,
+                JobState::Failed(_) => t.4 += 1,
             }
         }
         t
+    }
+
+    /// Sweep the batch registry: stamp newly settled batches (every job
+    /// `Done`/`Failed`) and evict those settled longer than `batch_ttl`
+    /// ago. Returns how many were evicted. Called from the reaper tick;
+    /// public so tests can drive it directly.
+    pub fn sweep_batches(&self) -> usize {
+        // Snapshot, judge, then stamp — three short critical sections,
+        // never two locks held at once.
+        let unsettled: Vec<(String, Vec<String>)> = {
+            let batches = self.batches.lock().expect("batches lock");
+            batches
+                .iter()
+                .filter(|(_, b)| b.settled_at.is_none())
+                .map(|(id, b)| (id.clone(), b.keys.clone()))
+                .collect()
+        };
+        let mut now_settled = Vec::new();
+        if !unsettled.is_empty() {
+            let jobs = self.jobs.lock().expect("jobs lock");
+            for (id, keys) in unsettled {
+                let all_settled = keys.iter().all(|k| {
+                    matches!(
+                        jobs.get(k).map(|r| &r.state),
+                        Some(JobState::Done) | Some(JobState::Failed(_))
+                    )
+                });
+                if all_settled {
+                    now_settled.push(id);
+                }
+            }
+        }
+        let mut batches = self.batches.lock().expect("batches lock");
+        let now = Instant::now();
+        for id in now_settled {
+            if let Some(b) = batches.get_mut(&id) {
+                b.settled_at = Some(now);
+            }
+        }
+        let before = batches.len();
+        batches.retain(|_, b| match b.settled_at {
+            Some(t) => now.duration_since(t) < self.cfg.batch_ttl,
+            None => true,
+        });
+        let evicted = before - batches.len();
+        if evicted > 0 {
+            self.metrics
+                .batches_evicted
+                .fetch_add(evicted as u64, Ordering::Relaxed);
+        }
+        evicted
     }
 
     /// All counters of the server as a `ptb-obs` registry: the
@@ -479,6 +641,20 @@ impl ServeState {
         c.set("serve.http.rejected", rejected as f64);
         c.set("serve.queue_depth", self.queue_depth() as f64);
         c.set("serve.uptime_secs", self.uptime_secs());
+        c.set("serve.batches.active", self.batch_count() as f64);
+        c.set(
+            "serve.batches.evicted",
+            m.batches_evicted.load(Ordering::Relaxed) as f64,
+        );
+        c.set(
+            "serve.stream.active",
+            m.streams_active.load(Ordering::Relaxed) as f64,
+        );
+        c.set(
+            "serve.stream.rejected",
+            m.streams_rejected.load(Ordering::Relaxed) as f64,
+        );
+        self.fleet.fill_counters(&mut c);
         for phase in RequestPhase::ALL {
             let (count, p50, p95, p99) = m.phase_summary(phase);
             let name = phase.name();
@@ -501,62 +677,116 @@ impl ServeState {
     }
 }
 
+/// Flips an atomic to `false` when dropped — including during an
+/// unwind, which is exactly how a panicking scheduler or reaper thread
+/// reports itself dead to `/healthz`.
+pub(crate) struct AliveGuard<'a>(pub(crate) &'a AtomicBool);
+
+impl Drop for AliveGuard<'_> {
+    fn drop(&mut self) {
+        self.0.store(false, Ordering::SeqCst);
+    }
+}
+
 /// Start the scheduler thread: drains the submission queue in batches
 /// of at most `batch_max` onto [`Farm::try_run_batch`], updating job
 /// states and quarantining failures as they resolve.
+///
+/// Fleet awareness: while at least one remote worker has been heard
+/// from inside `worker_grace`, the local scheduler holds back and lets
+/// the fleet drain the queue (one queue, one executor at a time per
+/// job). With no live workers — the degraded mode, and the default —
+/// it behaves exactly as before. During shutdown it drains whatever is
+/// queued regardless, so `stop()` never strands work.
 pub fn spawn_scheduler(state: Arc<ServeState>) -> JoinHandle<()> {
-    std::thread::spawn(move || loop {
-        let keys: Vec<String> = {
-            let mut queue = state.queue.lock().expect("queue lock");
-            loop {
-                if !queue.is_empty() {
-                    break;
-                }
-                if state.stop.load(Ordering::SeqCst) {
-                    return;
-                }
-                queue = state.wake.wait(queue).expect("queue wait");
-            }
-            let take = queue.len().min(state.cfg.batch_max.max(1));
-            queue.drain(..take).collect()
-        };
-        let jobs: Vec<FarmJob> = {
-            let mut registry = state.jobs.lock().expect("jobs lock");
-            keys.iter()
-                .map(|k| {
-                    let rec = registry.get_mut(k).expect("queued job is registered");
-                    rec.state = JobState::Running;
-                    rec.job.clone()
-                })
-                .collect()
-        };
-        let exec = ExecConfig {
-            watchdog: state.cfg.job_timeout,
-            ..ExecConfig::new(state.cfg.sim_threads)
-        };
-        let t0 = Instant::now();
-        let outcomes = state.farm.try_run_batch(&jobs, &exec);
-        state
-            .metrics
-            .observe(RequestPhase::Execute, t0.elapsed().as_secs_f64() * 1e3);
-        let mut registry = state.jobs.lock().expect("jobs lock");
-        for ((key, job), outcome) in keys.iter().zip(&jobs).zip(outcomes) {
-            let rec = registry.get_mut(key).expect("running job is registered");
-            match outcome {
-                Ok(_) => {
-                    state.metrics.completed.fetch_add(1, Ordering::Relaxed);
-                    rec.state = JobState::Done;
-                }
-                Err(e) => {
-                    state.metrics.failed.fetch_add(1, Ordering::Relaxed);
-                    // Quarantine keeps the full replayable config; the
-                    // server itself stays up.
-                    if let Err(qe) = state.farm.quarantine_job(job, &e) {
-                        eprintln!("warning: cannot quarantine {key}: {qe}");
+    std::thread::spawn(move || {
+        let _alive = AliveGuard(&state.scheduler_alive);
+        loop {
+            let keys: Vec<String> = {
+                let mut queue = state.queue.lock().expect("queue lock");
+                loop {
+                    let stopping = state.stop.load(Ordering::SeqCst);
+                    if !queue.is_empty() && (stopping || state.local_may_run()) {
+                        break;
                     }
-                    rec.state = JobState::Failed(e.to_string());
+                    if stopping {
+                        return;
+                    }
+                    // Bounded wait: worker liveness can change without a
+                    // queue notification (a worker going silent must
+                    // eventually hand the queue back to local execution).
+                    let (q, _) = state
+                        .wake
+                        .wait_timeout(queue, Duration::from_millis(200))
+                        .expect("queue wait");
+                    queue = q;
+                }
+                let take = queue.len().min(state.cfg.batch_max.max(1));
+                queue.drain(..take).collect()
+            };
+            // Only keys still Queued belong to us: a fleet `complete`
+            // that raced the drain has already settled its key.
+            let (keys, jobs): (Vec<String>, Vec<FarmJob>) = {
+                let mut registry = state.jobs.lock().expect("jobs lock");
+                keys.into_iter()
+                    .filter_map(|k| {
+                        let rec = registry.get_mut(&k)?;
+                        if rec.state != JobState::Queued {
+                            return None;
+                        }
+                        rec.state = JobState::Running;
+                        let job = rec.job.clone();
+                        Some((k, job))
+                    })
+                    .unzip()
+            };
+            if keys.is_empty() {
+                continue;
+            }
+            let exec = ExecConfig {
+                watchdog: state.cfg.job_timeout,
+                ..ExecConfig::new(state.cfg.sim_threads)
+            };
+            let t0 = Instant::now();
+            let outcomes = state.farm.try_run_batch(&jobs, &exec);
+            state
+                .metrics
+                .observe(RequestPhase::Execute, t0.elapsed().as_secs_f64() * 1e3);
+            let mut registry = state.jobs.lock().expect("jobs lock");
+            for ((key, job), outcome) in keys.iter().zip(&jobs).zip(outcomes) {
+                let rec = registry.get_mut(key).expect("running job is registered");
+                match outcome {
+                    Ok(_) => {
+                        state.metrics.completed.fetch_add(1, Ordering::Relaxed);
+                        rec.state = JobState::Done;
+                        rec.executed_by = Some("local".to_owned());
+                    }
+                    Err(e) => {
+                        state.metrics.failed.fetch_add(1, Ordering::Relaxed);
+                        // Quarantine keeps the full replayable config;
+                        // the server itself stays up.
+                        if let Err(qe) = state.farm.quarantine_job(job, &e) {
+                            eprintln!("warning: cannot quarantine {key}: {qe}");
+                        }
+                        rec.state = JobState::Failed(e.to_string());
+                    }
                 }
             }
+        }
+    })
+}
+
+/// Start the lease reaper: every `reaper_tick` it requeues (or, past
+/// `max_claims`, quarantines) jobs whose lease has expired, and sweeps
+/// the batch registry's TTL eviction. See `fleet::FleetState` for the
+/// lease table itself.
+pub fn spawn_reaper(state: Arc<ServeState>) -> JoinHandle<()> {
+    std::thread::spawn(move || {
+        let _alive = AliveGuard(&state.reaper_alive);
+        while !state.stop.load(Ordering::SeqCst) {
+            std::thread::sleep(state.cfg.reaper_tick);
+            state.reap_expired_leases();
+            state.sweep_batches();
         }
     })
 }

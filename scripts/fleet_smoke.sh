@@ -1,0 +1,128 @@
+#!/usr/bin/env bash
+# Fleet smoke: a running ptb_serve coordinator, three ptb_worker
+# processes over loopback — one SIGKILLed while it provably holds a
+# lease, the survivors under seeded network chaos — then end-to-end
+# assertions: the batch settles, the dead worker's lease expired and
+# was requeued, nothing diverged, nothing failed, and every report the
+# server hands back is byte-identical to a direct in-process run
+# (submit_batch does the byte comparison).
+#
+# Parameters (env): SEED (chaos seed, default 11), RATE (fault rate,
+# default 0.10), BIN_DIR (default target/release), WORK_DIR (scratch +
+# logs, default target/fleet-smoke). Exit 0 on success; logs and the
+# quarantine manifest stay in WORK_DIR for artifact upload on failure.
+set -euo pipefail
+
+SEED="${SEED:-11}"
+RATE="${RATE:-0.10}"
+BIN_DIR="${BIN_DIR:-target/release}"
+WORK_DIR="${WORK_DIR:-target/fleet-smoke}"
+ADDR="127.0.0.1:7910"
+
+rm -rf "$WORK_DIR"
+mkdir -p "$WORK_DIR"
+FARM_DIR="$WORK_DIR/farm"
+
+pids=()
+cleanup() {
+  for pid in "${pids[@]}"; do
+    kill -9 "$pid" 2>/dev/null || true
+  done
+  wait 2>/dev/null || true
+}
+trap cleanup EXIT
+
+echo "== fleet smoke: seed=$SEED rate=$RATE =="
+
+# A pure coordinator: every job must flow through the fleet endpoints.
+"$BIN_DIR/ptb_serve" --addr "$ADDR" --farm-dir "$FARM_DIR" --no-local \
+  --lease-ttl-ms 2000 --reaper-tick-ms 100 --max-claims 10 \
+  >"$WORK_DIR/server.log" 2>&1 &
+pids+=($!)
+for _ in $(seq 1 50); do
+  curl -sf "http://$ADDR/healthz" >/dev/null && break
+  sleep 0.2
+done
+curl -sf "http://$ADDR/healthz" >/dev/null
+
+# The victim parks between claim and simulate so the SIGKILL provably
+# lands while its lease is live.
+"$BIN_DIR/ptb_worker" --addr "$ADDR" --name victim --poll-ms 50 \
+  --ttl-ms 2000 --hold-ms 60000 >"$WORK_DIR/victim.log" 2>&1 &
+VICTIM_PID=$!
+pids+=($VICTIM_PID)
+
+# Volume batch (shorthand wire form) so the survivors have real work.
+BATCH=$(curl -sf -X POST "http://$ADDR/v1/batches" -d '{"jobs": [
+  {"bench": "fft",    "n_cores": 2, "scale": "Test"},
+  {"bench": "radix",  "n_cores": 2, "scale": "Test"},
+  {"bench": "cholesky", "n_cores": 2, "scale": "Test"},
+  {"bench": "fft",    "n_cores": 2, "scale": "Test", "mechanism": "Dvfs"},
+  {"bench": "radix",  "n_cores": 2, "scale": "Test", "mechanism": "Dvfs"},
+  {"bench": "fft",    "n_cores": 4, "scale": "Test"}
+]}' | python3 -c "import json,sys; print(json.load(sys.stdin)['batch'])")
+echo "submitted batch $BATCH"
+
+# Wait until the victim holds a lease, then SIGKILL it mid-job.
+for _ in $(seq 1 100); do
+  HELD=$("$BIN_DIR/farm_ctl" workers --addr "$ADDR" --json \
+    | python3 -c "import json,sys; w=json.load(sys.stdin); print(sum(1 for l in w['leases'] if l['worker']=='victim'))")
+  [ "$HELD" -ge 1 ] && break
+  sleep 0.1
+done
+[ "$HELD" -ge 1 ] || { echo "victim never claimed a lease"; exit 1; }
+kill -9 "$VICTIM_PID"
+echo "victim SIGKILLed while holding a lease"
+
+# Two survivors under seeded network chaos drain the queue, including
+# the job the victim died holding.
+"$BIN_DIR/ptb_worker" --addr "$ADDR" --name w2 --poll-ms 50 --ttl-ms 2000 \
+  --chaos "$RATE" --chaos-seed "$SEED" >"$WORK_DIR/w2.log" 2>&1 &
+pids+=($!)
+"$BIN_DIR/ptb_worker" --addr "$ADDR" --name w3 --poll-ms 50 --ttl-ms 2000 \
+  --chaos "$RATE" --chaos-seed "$((SEED + 100))" >"$WORK_DIR/w3.log" 2>&1 &
+pids+=($!)
+
+# submit_batch byte-compares its reports against direct in-process
+# simulations — through the same chaos-ridden fleet.
+"$BIN_DIR/examples/submit_batch" --addr "$ADDR"
+
+# Poll the volume batch to completion.
+for _ in $(seq 1 600); do
+  DONE=$(curl -sf "http://$ADDR/v1/batches/$BATCH" \
+    | python3 -c "import json,sys; print(int(json.load(sys.stdin)['done']))")
+  [ "$DONE" = "1" ] && break
+  sleep 0.5
+done
+[ "$DONE" = "1" ] || { echo "batch $BATCH did not settle"; exit 1; }
+
+# The books must balance: the dead worker's lease expired and was
+# requeued, nothing failed, nothing diverged, every job is done.
+curl -sf "http://$ADDR/v1/metrics" | python3 -c "
+import json, sys
+m = json.load(sys.stdin)
+assert m['serve.lease.expired'] >= 1, m
+assert m['serve.lease.requeued'] >= 1, m
+assert m['serve.lease.divergent'] == 0, m
+assert m['serve.failed'] == 0, m
+assert m['fleet.quarantined'] == 0, m
+print('metrics OK: expired=%d requeued=%d stored=%d' % (
+    m['serve.lease.expired'], m['serve.lease.requeued'],
+    m['fleet.complete.stored']))
+"
+curl -sf "http://$ADDR/v1/status" | python3 -c "
+import json, sys
+s = json.load(sys.stdin)
+assert s['divergent'] == [], s
+assert s['jobs']['done'] == 6, s
+assert s['jobs']['failed'] == 0 and s['jobs']['queued'] == 0, s
+assert s['entries'] == 6, s
+assert s['healthy'] is True, s
+print('status OK: %d jobs done, %d store entries' % (s['jobs']['done'], s['entries']))
+"
+test ! -s "$FARM_DIR/failed.jsonl" || { echo "quarantine not empty"; exit 1; }
+
+# The fleet view, for the CI log.
+"$BIN_DIR/farm_ctl" workers --addr "$ADDR"
+grep '\[fleet\]' "$WORK_DIR/server.log" || true
+echo "fleet smoke OK (seed=$SEED rate=$RATE)"
